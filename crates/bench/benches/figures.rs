@@ -1,0 +1,49 @@
+//! `cargo bench` entry point that regenerates *every* table and figure of
+//! the paper at a reduced scale, printing the same rows the paper reports
+//! and writing CSVs under `bench_out/`.
+//!
+//! Full-scale runs use the dedicated binaries (`cargo run --release -p
+//! cilkm-bench --bin figN`); this harness exists so `cargo bench
+//! --workspace` exercises the complete evaluation end to end.
+//!
+//! Env knobs: CILKM_BENCH_SCALE (default here 4096 — roughly 0.25 M
+//! lookups per point), CILKM_BENCH_WORKERS (default here 8),
+//! CILKM_GRAPH_SCALE (default 500).
+
+use cilkm_bench::figures::{self, FigureOpts};
+
+fn main() {
+    // `cargo bench` passes --bench (and test filters); nothing to parse.
+    let opts = FigureOpts {
+        scale: cilkm_bench::env_scale(4096.0),
+        workers: cilkm_bench::env_workers(8),
+    };
+    println!(
+        "== cilkm figures (scale divisor {}, {} workers) ==\n",
+        opts.scale, opts.workers
+    );
+
+    println!("--- Figure 1 ---");
+    let f1 = figures::fig1(opts);
+    assert_eq!(f1.len(), 4);
+
+    println!("--- Figure 5(a) serial ---");
+    figures::fig5(opts, 1);
+    println!("--- Figure 5(b) parallel ---");
+    figures::fig5(opts, opts.workers);
+
+    println!("--- Figure 6 ---");
+    figures::fig6(opts);
+
+    println!("--- Figures 7 & 8 ---");
+    let f7 = figures::fig7(opts);
+    figures::fig8(&f7);
+
+    println!("--- Figure 9 ---");
+    figures::fig9(opts);
+
+    println!("--- Figure 10 ---");
+    figures::fig10(opts);
+
+    println!("All figures regenerated; CSVs in bench_out/.");
+}

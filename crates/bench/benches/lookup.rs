@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks of the single-operation costs behind
+//! Figure 1: one reducer update per iteration under each mechanism, plus
+//! the L1 and locking baselines.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cilkm_core::library::SumMonoid;
+use cilkm_core::{Backend, Reducer, ReducerPool};
+use cilkm_runtime::sync::SpinLock;
+
+fn reducer_lookup(c: &mut Criterion, name: &str, backend: Backend) {
+    let pool = ReducerPool::new(1, backend);
+    let reducers: Vec<Reducer<SumMonoid<u64>>> = (0..4)
+        .map(|_| Reducer::new(&pool, SumMonoid::new(), 0))
+        .collect();
+    c.bench_function(name, |b| {
+        b.iter_custom(|iters| {
+            // Measure inside the region so updates take the worker fast
+            // path; the region entry cost amortizes over `iters`.
+            pool.run(|| {
+                let t0 = Instant::now();
+                for i in 0..iters {
+                    reducers[(i & 3) as usize].add(1);
+                }
+                t0.elapsed()
+            })
+        })
+    });
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    reducer_lookup(c, "lookup/memory-mapped", Backend::Mmap);
+    reducer_lookup(c, "lookup/hypermap", Backend::Hypermap);
+
+    c.bench_function("lookup/l1-baseline", |b| {
+        let cells: Vec<std::cell::UnsafeCell<u64>> =
+            (0..4).map(|_| std::cell::UnsafeCell::new(0)).collect();
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            for i in 0..iters {
+                unsafe {
+                    let p = cells[(i & 3) as usize].get();
+                    std::ptr::write_volatile(p, std::ptr::read_volatile(p) + 1);
+                }
+            }
+            t0.elapsed()
+        })
+    });
+
+    c.bench_function("lookup/locking", |b| {
+        let locks: Vec<SpinLock<u64>> = (0..4).map(|_| SpinLock::new(0)).collect();
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            for i in 0..iters {
+                *locks[(i & 3) as usize].lock() += 1;
+            }
+            t0.elapsed()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_lookups
+}
+criterion_main!(benches);

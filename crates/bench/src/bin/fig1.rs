@@ -1,0 +1,10 @@
+//! Regenerates Figure 1: normalized overhead of L1 access, memory-mapped
+//! reducers, hypermap reducers, and locking.
+//!
+//! Env: CILKM_BENCH_SCALE (iteration divisor, default 256).
+
+fn main() {
+    let opts = cilkm_bench::figures::FigureOpts::default();
+    println!("fig1: scale divisor = {}\n", opts.scale);
+    cilkm_bench::figures::fig1(opts);
+}

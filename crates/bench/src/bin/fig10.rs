@@ -1,0 +1,16 @@
+//! Regenerates Figure 10: PBFS relative execution time (Cilk-M vs Cilk
+//! Plus) on the eight stand-in input graphs, plus the characteristics
+//! table.
+//!
+//! Env: CILKM_GRAPH_SCALE (graph-size divisor, default 500),
+//! CILKM_BENCH_WORKERS.
+
+fn main() {
+    let opts = cilkm_bench::figures::FigureOpts::default();
+    println!(
+        "fig10: graph scale divisor = {}, workers = {}\n",
+        cilkm_bench::env_graph_scale(500.0),
+        opts.workers
+    );
+    cilkm_bench::figures::fig10(opts);
+}

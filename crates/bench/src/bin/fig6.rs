@@ -1,0 +1,10 @@
+//! Regenerates Figure 6: reducer lookup overhead (add-n minus the
+//! add-base-n control) on a single worker.
+//!
+//! Env: CILKM_BENCH_SCALE (iteration divisor, default 256).
+
+fn main() {
+    let opts = cilkm_bench::figures::FigureOpts::default();
+    println!("fig6: scale divisor = {}\n", opts.scale);
+    cilkm_bench::figures::fig6(opts);
+}

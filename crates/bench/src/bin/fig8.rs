@@ -1,0 +1,15 @@
+//! Regenerates Figure 8: the breakdown of Cilk-M's reduce overhead into
+//! view creation, view insertion, hypermerge, and view transferal.
+//! (Re-runs the Figure 7 measurements to obtain the instrumentation.)
+//!
+//! Env: CILKM_BENCH_SCALE, CILKM_BENCH_WORKERS.
+
+fn main() {
+    let opts = cilkm_bench::figures::FigureOpts::default();
+    println!(
+        "fig8: scale divisor = {}, workers = {}\n",
+        opts.scale, opts.workers
+    );
+    let rows = cilkm_bench::figures::fig7(opts);
+    cilkm_bench::figures::fig8(&rows);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 9: speedup of add-n on Cilk-M for 1..16 workers.
+//! Note: on hosts with fewer hardware threads, workers are oversubscribed
+//! and the curve saturates at the core count (recorded in EXPERIMENTS.md).
+//!
+//! Env: CILKM_BENCH_SCALE.
+
+fn main() {
+    let opts = cilkm_bench::figures::FigureOpts::default();
+    println!("fig9: scale divisor = {}\n", opts.scale);
+    cilkm_bench::figures::fig9(opts);
+}

@@ -1,0 +1,448 @@
+//! One function per table/figure of the paper's evaluation (§8), each
+//! printing the same rows/series the paper reports and persisting CSVs.
+//!
+//! Absolute times will differ from the 2012 AMD Opteron testbed (and the
+//! "16 processors" are oversubscribed workers on smaller hosts); the
+//! reproduction targets are the *shapes*: who wins, by what factor, and
+//! how gaps move with the number of reducers. `EXPERIMENTS.md` records
+//! paper-vs-measured for every figure.
+
+use std::time::Duration;
+
+use cilkm_core::{Backend, InstrumentSnapshot, ReducerPool};
+use cilkm_graph::{bfs_serial, gen, pbfs, UNREACHED};
+
+use crate::micro::{self, MicroConfig};
+use crate::output::{fmt_duration, Table};
+
+/// Global options for a figure run.
+#[derive(Copy, Clone, Debug)]
+pub struct FigureOpts {
+    /// Divisor applied to the paper's iteration counts.
+    pub scale: f64,
+    /// Worker count for the "16 processors" experiments.
+    pub workers: usize,
+}
+
+impl Default for FigureOpts {
+    fn default() -> Self {
+        FigureOpts {
+            scale: crate::env_scale(256.0),
+            workers: crate::env_workers(16),
+        }
+    }
+}
+
+fn scaled(base: u64, scale: f64) -> u64 {
+    ((base as f64 / scale) as u64).max(100_000)
+}
+
+/// The paper's Figure 4 microbenchmark n values for Figure 5.
+pub const FIG5_N: [usize; 5] = [4, 16, 64, 256, 1024];
+/// The n sweep of Figures 6 and 7.
+pub const FIG67_N: [usize; 9] = [4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Figure 1: normalized overhead of L1 access, memory-mapped reducer,
+/// hypermap reducer, and locking — four locations, tight loop, one
+/// worker.
+pub struct Fig1Row {
+    /// Category label as in the paper.
+    pub label: &'static str,
+    /// Nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Overhead normalized to the L1 baseline.
+    pub normalized: f64,
+}
+
+/// Runs Figure 1 and returns its four rows (L1 first).
+pub fn fig1(opts: FigureOpts) -> Vec<Fig1Row> {
+    let x = scaled(256 * 1024 * 1024, opts.scale);
+    let n = 4;
+    let l1 = micro::run_l1(n, x);
+    let mmap = micro::run_add_tight(Backend::Mmap, n, x);
+    let hyper = micro::run_add_tight(Backend::Hypermap, n, x);
+    let locking = micro::run_locking(n, x);
+
+    let per_op = |d: Duration| d.as_nanos() as f64 / x as f64;
+    let base = per_op(l1);
+    let rows = vec![
+        Fig1Row {
+            label: "L1-memory",
+            ns_per_op: per_op(l1),
+            normalized: 1.0,
+        },
+        Fig1Row {
+            label: "memory-mapped",
+            ns_per_op: per_op(mmap),
+            normalized: per_op(mmap) / base,
+        },
+        Fig1Row {
+            label: "hypermap",
+            ns_per_op: per_op(hyper),
+            normalized: per_op(hyper) / base,
+        },
+        Fig1Row {
+            label: "locking",
+            ns_per_op: per_op(locking),
+            normalized: per_op(locking) / base,
+        },
+    ];
+
+    let mut t = Table::new(
+        &format!("Figure 1 — normalized overhead (x = {x} updates, 4 locations, 1 worker)"),
+        &["category", "ns/op", "normalized"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.label.into(),
+            format!("{:.2}", r.ns_per_op),
+            format!("{:.2}", r.normalized),
+        ]);
+    }
+    t.emit("fig1");
+    rows
+}
+
+/// One Figure 5 measurement.
+pub struct Fig5Row {
+    /// `add`, `min`, or `max`.
+    pub bench: &'static str,
+    /// Number of reducers.
+    pub n: usize,
+    /// Cilk-M (memory-mapped) execution time.
+    pub cilk_m: Duration,
+    /// Cilk Plus (hypermap) execution time.
+    pub cilk_plus: Duration,
+}
+
+/// Figure 5(a)/(b): microbenchmark execution times with varying numbers
+/// of reducers, on `workers` workers (1 → Fig 5a, 16 → Fig 5b).
+pub fn fig5(opts: FigureOpts, workers: usize) -> Vec<Fig5Row> {
+    let x = scaled(1024 * 1024 * 1024, opts.scale);
+    let mut rows = Vec::new();
+    for bench in ["add", "min", "max"] {
+        for &n in &FIG5_N {
+            let run = |backend| {
+                let cfg = MicroConfig::new(workers, backend, n, x);
+                match bench {
+                    "add" => micro::run_add(cfg),
+                    "min" => micro::run_min(cfg),
+                    _ => micro::run_max(cfg),
+                }
+            };
+            let cilk_m = run(Backend::Mmap);
+            let cilk_plus = run(Backend::Hypermap);
+            rows.push(Fig5Row {
+                bench,
+                n,
+                cilk_m,
+                cilk_plus,
+            });
+        }
+    }
+    let sub = if workers == 1 { "a" } else { "b" };
+    let mut t = Table::new(
+        &format!("Figure 5({sub}) — execution time, {workers} worker(s), x = {x} lookups"),
+        &["benchmark", "Cilk-M", "Cilk Plus", "Plus/M"],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("{}-{}", r.bench, r.n),
+            fmt_duration(r.cilk_m),
+            fmt_duration(r.cilk_plus),
+            format!("{:.2}", r.cilk_plus.as_secs_f64() / r.cilk_m.as_secs_f64()),
+        ]);
+    }
+    t.emit(&format!("fig5{sub}"));
+    rows
+}
+
+/// One Figure 6 measurement: lookup overhead for one backend at one n.
+pub struct Fig6Row {
+    /// Number of reducers.
+    pub n: usize,
+    /// `time(add-n) − time(add-base-n)` for Cilk-M.
+    pub cilk_m_overhead: f64,
+    /// Same for Cilk Plus.
+    pub cilk_plus_overhead: f64,
+}
+
+/// Figure 6: lookup overhead (add-n minus the add-base-n control), one
+/// worker, n from 4 to 1024.
+pub fn fig6(opts: FigureOpts) -> Vec<Fig6Row> {
+    let x = scaled(1024 * 1024 * 1024, opts.scale);
+    let mut rows = Vec::new();
+    for &n in &FIG67_N {
+        let base = micro::run_add_base(1, n, x, 8192);
+        let m = micro::run_add(MicroConfig::new(1, Backend::Mmap, n, x));
+        let h = micro::run_add(MicroConfig::new(1, Backend::Hypermap, n, x));
+        rows.push(Fig6Row {
+            n,
+            cilk_m_overhead: (m.as_secs_f64() - base.as_secs_f64()).max(0.0),
+            cilk_plus_overhead: (h.as_secs_f64() - base.as_secs_f64()).max(0.0),
+        });
+    }
+    let mut t = Table::new(
+        &format!("Figure 6 — lookup overhead (add-n − add-base-n), 1 worker, x = {x}"),
+        &["n", "Cilk-M (s)", "Cilk Plus (s)", "Plus/M"],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("add-{}", r.n),
+            format!("{:.4}", r.cilk_m_overhead),
+            format!("{:.4}", r.cilk_plus_overhead),
+            format!("{:.2}", r.cilk_plus_overhead / r.cilk_m_overhead.max(1e-12)),
+        ]);
+    }
+    t.emit("fig6");
+    rows
+}
+
+/// One Figure 7/8 measurement: the reduce overhead of one backend.
+pub struct Fig7Row {
+    /// Number of reducers.
+    pub n: usize,
+    /// Reduce overhead (view creation + insertion + transferal +
+    /// hypermerge), microseconds.
+    pub cilk_m_us: f64,
+    /// Same for Cilk Plus.
+    pub cilk_plus_us: f64,
+    /// Successful steals in the Cilk-M run (overheads amortize against
+    /// these).
+    pub cilk_m_steals: u64,
+    /// Successful steals in the Cilk Plus run.
+    pub cilk_plus_steals: u64,
+    /// Full Cilk-M instrumentation delta (drives Figure 8).
+    pub cilk_m_snapshot: InstrumentSnapshot,
+}
+
+/// Figure 7: reduce overhead during parallel execution (16 workers,
+/// add-n, instrumented inside the runtime), per backend and n.
+pub fn fig7(opts: FigureOpts) -> Vec<Fig7Row> {
+    // The reduce-overhead study uses 2× the lookups (§8 footnote 8).
+    let x = scaled(2048 * 1024 * 1024, opts.scale);
+    let mut rows = Vec::new();
+    for &n in &FIG67_N {
+        let measure = |backend: Backend| {
+            let pool = ReducerPool::new(opts.workers, backend);
+            let before = pool.instrument();
+            let steals0 = pool.stats().steals;
+            micro::run_add_on(&pool, MicroConfig::new(opts.workers, backend, n, x));
+            let snap = pool.instrument().since(&before);
+            let steals = pool.stats().steals - steals0;
+            (snap, steals)
+        };
+        let (m_snap, m_steals) = measure(Backend::Mmap);
+        let (h_snap, h_steals) = measure(Backend::Hypermap);
+        rows.push(Fig7Row {
+            n,
+            cilk_m_us: m_snap.reduce_overhead_ns() as f64 / 1e3,
+            cilk_plus_us: h_snap.reduce_overhead_ns() as f64 / 1e3,
+            cilk_m_steals: m_steals,
+            cilk_plus_steals: h_steals,
+            cilk_m_snapshot: m_snap,
+        });
+    }
+    let mut t = Table::new(
+        &format!(
+            "Figure 7 — reduce overhead, {} workers, add-n, x = {x}",
+            opts.workers
+        ),
+        &[
+            "n",
+            "Cilk-M (us)",
+            "Cilk Plus (us)",
+            "Plus/M",
+            "steals M",
+            "steals Plus",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("add-{}", r.n),
+            format!("{:.1}", r.cilk_m_us),
+            format!("{:.1}", r.cilk_plus_us),
+            format!("{:.2}", r.cilk_plus_us / r.cilk_m_us.max(1e-9)),
+            r.cilk_m_steals.to_string(),
+            r.cilk_plus_steals.to_string(),
+        ]);
+    }
+    t.emit("fig7");
+    rows
+}
+
+/// Figure 8: the Cilk-M reduce-overhead breakdown (reuses Figure 7 runs).
+pub fn fig8(rows: &[Fig7Row]) {
+    let mut t = Table::new(
+        "Figure 8 — Cilk-M reduce overhead breakdown (ms)",
+        &[
+            "n",
+            "view creation",
+            "view insertion",
+            "hypermerge",
+            "view transferal",
+        ],
+    );
+    for r in rows {
+        let b = r.cilk_m_snapshot.breakdown();
+        t.row(&[
+            format!("add-{}", r.n),
+            format!("{:.3}", b.view_creation_ns as f64 / 1e6),
+            format!("{:.3}", b.view_insertion_ns as f64 / 1e6),
+            format!("{:.3}", b.hypermerge_ns as f64 / 1e6),
+            format!("{:.3}", b.transferal_ns as f64 / 1e6),
+        ]);
+    }
+    t.emit("fig8");
+}
+
+/// One Figure 9 series point.
+pub struct Fig9Row {
+    /// Number of reducers.
+    pub n: usize,
+    /// Worker count.
+    pub p: usize,
+    /// Execution time at this worker count.
+    pub time: Duration,
+    /// Speedup over the single-worker run of the same n.
+    pub speedup: f64,
+}
+
+/// Figure 9: speedup of add-n on Cilk-M for P ∈ {1,2,4,8,16}.
+///
+/// On hosts with fewer hardware threads than P the workers are
+/// oversubscribed and speedups saturate at the core count — recorded as
+/// such in EXPERIMENTS.md.
+pub fn fig9(opts: FigureOpts) -> Vec<Fig9Row> {
+    let x = scaled(1024 * 1024 * 1024, opts.scale);
+    let ps = [1usize, 2, 4, 8, 16];
+    let mut rows = Vec::new();
+    for &n in &FIG5_N {
+        let mut t1 = None;
+        for &p in &ps {
+            let d = micro::run_add(MicroConfig::new(p, Backend::Mmap, n, x));
+            let t1v = *t1.get_or_insert(d.as_secs_f64());
+            rows.push(Fig9Row {
+                n,
+                p,
+                time: d,
+                speedup: t1v / d.as_secs_f64(),
+            });
+        }
+    }
+    let mut t = Table::new(
+        &format!("Figure 9 — speedup of add-n on Cilk-M (x = {x})"),
+        &["n", "P", "time", "speedup"],
+    );
+    for r in &rows {
+        t.row(&[
+            format!("add-{}", r.n),
+            r.p.to_string(),
+            fmt_duration(r.time),
+            format!("{:.2}", r.speedup),
+        ]);
+    }
+    t.emit("fig9");
+    rows
+}
+
+/// One Figure 10 row: PBFS on one input graph.
+pub struct Fig10Row {
+    /// Input name (the matrix the generator stands in for).
+    pub name: &'static str,
+    /// Generated |V|.
+    pub vertices: usize,
+    /// Generated |E|.
+    pub edges: usize,
+    /// Measured eccentricity of the source (layers − 1).
+    pub diameter: u32,
+    /// Reducer lookups during the parallel Cilk-M run.
+    pub lookups: u64,
+    /// Cilk-M / Cilk Plus time ratio on one worker.
+    pub ratio_serial: f64,
+    /// Cilk-M / Cilk Plus time ratio on `workers` workers.
+    pub ratio_parallel: f64,
+}
+
+/// Figure 10: PBFS relative execution time (Cilk-M / Cilk Plus) on the
+/// eight stand-in input graphs, serial and parallel, plus the input
+/// characteristics table.
+pub fn fig10(opts: FigureOpts) -> Vec<Fig10Row> {
+    // Graph sizes have their own divisor (CILKM_GRAPH_SCALE): at the
+    // default of 500 the stand-ins have |V| in the thousands, which
+    // EXPERIMENTS.md accounts for.
+    let graph_scale = crate::env_graph_scale(500.0);
+    let inputs = gen::paper_inputs(graph_scale, 0xC11C);
+    let grain = 64;
+    let mut rows = Vec::new();
+    for input in &inputs {
+        let g = &input.graph;
+        let serial_dist = bfs_serial(g, input.source);
+        let diameter = serial_dist
+            .iter()
+            .filter(|&&d| d != UNREACHED)
+            .max()
+            .copied()
+            .unwrap_or(0);
+
+        let time_with = |backend: Backend, workers: usize| {
+            let pool = ReducerPool::new(workers, backend);
+            let t0 = std::time::Instant::now();
+            let rep = pbfs(&pool, g, input.source, grain);
+            let dt = t0.elapsed();
+            assert_eq!(rep.distances, serial_dist, "{} PBFS mismatch", input.name);
+            (dt, rep.lookups)
+        };
+
+        let (m1, _) = time_with(Backend::Mmap, 1);
+        let (h1, _) = time_with(Backend::Hypermap, 1);
+        let (mp, lookups) = time_with(Backend::Mmap, opts.workers);
+        let (hp, _) = time_with(Backend::Hypermap, opts.workers);
+
+        rows.push(Fig10Row {
+            name: input.name,
+            vertices: g.num_vertices(),
+            edges: g.num_edges(),
+            diameter,
+            lookups,
+            ratio_serial: m1.as_secs_f64() / h1.as_secs_f64(),
+            ratio_parallel: mp.as_secs_f64() / hp.as_secs_f64(),
+        });
+    }
+
+    let mut ta = Table::new(
+        &format!(
+            "Figure 10(a) — PBFS, Cilk-M / Cilk Plus execution-time ratio (graph scale 1/{:.0})",
+            graph_scale
+        ),
+        &[
+            "graph",
+            "ratio 1 worker",
+            &format!("ratio {} workers", opts.workers),
+        ],
+    );
+    for r in &rows {
+        ta.row(&[
+            r.name.into(),
+            format!("{:.3}", r.ratio_serial),
+            format!("{:.3}", r.ratio_parallel),
+        ]);
+    }
+    ta.emit("fig10a");
+
+    let mut tb = Table::new(
+        "Figure 10(b) — input characteristics (generated stand-ins)",
+        &["name", "|V|", "|E|", "D", "# lookups"],
+    );
+    for r in &rows {
+        tb.row(&[
+            r.name.into(),
+            r.vertices.to_string(),
+            r.edges.to_string(),
+            r.diameter.to_string(),
+            r.lookups.to_string(),
+        ]);
+    }
+    tb.emit("fig10b");
+    rows
+}

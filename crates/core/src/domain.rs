@@ -1,0 +1,354 @@
+//! The reducer *domain*: everything shared by all reducers of one pool —
+//! backend choice, the slot allocator (the `tlmm_addr` space of §6), the
+//! leftmost-view registry, the shared arena of simulated physical pages,
+//! and the global pool of recyclable public SPA maps (§7).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use cilkm_runtime::{HyperHooks, Pool, PoolBuilder, PoolStats};
+use cilkm_spa::SpaMapBox;
+use cilkm_tlmm::PageArena;
+
+use crate::instrument::{Instrument, InstrumentSnapshot};
+use crate::monoid::MonoidInstance;
+
+/// Which reducer mechanism a pool runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The Cilk Plus baseline: per-context hash tables (§3).
+    Hypermap,
+    /// The Cilk-M memory-mapping mechanism: TLMM + SPA maps (§4–§7).
+    Mmap,
+}
+
+/// A reducer's identifier: its index in the shared slot space. For the
+/// memory-mapped backend this is literally the paper's `tlmm_addr` (slot
+/// `s` lives at byte `16·(s mod 248)` of private SPA page `s div 248` in
+/// every worker's TLMM region); the hypermap backend uses the same id as
+/// its hash key, standing in for the reducer's address.
+pub(crate) type Slot = u32;
+
+struct SlotAlloc {
+    free: Vec<Slot>,
+    next: Slot,
+}
+
+/// One reducer's leftmost storage: the view that holds the initial value
+/// and, after a region completes, the final value.
+#[derive(Copy, Clone)]
+pub(crate) struct LeftmostEntry {
+    pub view: *mut u8,
+    pub monoid: *const u8,
+    /// The reducer's serial-access flag (lives in the `ReducerInner`,
+    /// which strictly outlives this entry): region-end folds acquire it
+    /// so racing a serial-path access panics instead of racing.
+    pub flag: *const AtomicBool,
+}
+
+/// Shared state of a reducer domain. Usually reached through
+/// [`ReducerPool`]; exposed so benches can instrument it directly.
+pub struct DomainInner {
+    pub(crate) backend: Backend,
+    pub(crate) instrument: Instrument,
+    slots: Mutex<SlotAlloc>,
+    leftmost: Mutex<Vec<Option<LeftmostEntry>>>,
+    /// Simulated physical pages backing every worker's TLMM region.
+    pub(crate) arena: Arc<PageArena>,
+    /// Global pool of empty public SPA maps (rebalanced with the workers'
+    /// local pools in the manner of Hoard, §7 footnote 7).
+    public_pool: Mutex<Vec<SpaMapBox>>,
+}
+
+unsafe impl Send for DomainInner {}
+unsafe impl Sync for DomainInner {}
+
+impl DomainInner {
+    pub(crate) fn new(backend: Backend) -> DomainInner {
+        DomainInner {
+            backend,
+            instrument: Instrument::new(),
+            slots: Mutex::new(SlotAlloc {
+                free: Vec::new(),
+                next: 0,
+            }),
+            leftmost: Mutex::new(Vec::new()),
+            arena: Arc::new(PageArena::new()),
+            public_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Which mechanism this domain runs.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Instrumentation totals for the domain.
+    pub fn instrument(&self) -> InstrumentSnapshot {
+        self.instrument.snapshot()
+    }
+
+    pub(crate) fn alloc_slot(&self) -> Slot {
+        let mut a = self.slots.lock();
+        if let Some(s) = a.free.pop() {
+            s
+        } else {
+            let s = a.next;
+            a.next = a.next.checked_add(1).expect("slot space exhausted");
+            s
+        }
+    }
+
+    pub(crate) fn free_slot(&self, slot: Slot) {
+        self.slots.lock().free.push(slot);
+    }
+
+    pub(crate) fn register_leftmost(
+        &self,
+        slot: Slot,
+        view: *mut u8,
+        monoid: *const u8,
+        flag: *const AtomicBool,
+    ) {
+        let mut reg = self.leftmost.lock();
+        let idx = slot as usize;
+        if reg.len() <= idx {
+            reg.resize(idx + 1, None);
+        }
+        debug_assert!(reg[idx].is_none(), "slot {slot} already registered");
+        reg[idx] = Some(LeftmostEntry { view, monoid, flag });
+    }
+
+    pub(crate) fn unregister_leftmost(&self, slot: Slot) -> Option<LeftmostEntry> {
+        self.leftmost.lock()[slot as usize].take()
+    }
+
+    pub(crate) fn leftmost_entry(&self, slot: Slot) -> Option<LeftmostEntry> {
+        self.leftmost.lock().get(slot as usize).copied().flatten()
+    }
+
+    /// Replaces the leftmost view pointer of `slot`, returning the old one.
+    pub(crate) fn swap_leftmost_view(&self, slot: Slot, new_view: *mut u8) -> *mut u8 {
+        let mut reg = self.leftmost.lock();
+        let entry = reg[slot as usize].as_mut().expect("slot not registered");
+        std::mem::replace(&mut entry.view, new_view)
+    }
+
+    /// Folds a detached `view` into the leftmost storage of `slot`, with
+    /// the leftmost as the serially-earlier (left) operand. Consumes
+    /// `view`.
+    ///
+    /// # Safety
+    ///
+    /// `view` must be a live boxed view of the slot's monoid type, and
+    /// the caller must be at a serial point for this reducer (no other
+    /// thread folding or reading the same slot concurrently).
+    pub(crate) unsafe fn fold_into_leftmost(&self, slot: Slot, view: *mut u8) {
+        // Copy the entry out, then reduce outside the lock: the monoid's
+        // reduce is user code and may itself touch (other) reducers.
+        let entry = self
+            .leftmost_entry(slot)
+            .unwrap_or_else(|| panic!("views outlive reducer for slot {slot}"));
+        // Exclude concurrent serial-path accesses (panics on a genuine
+        // race, which is a program error per the Cilk rules).
+        let _borrow = SerialBorrow::acquire(&*entry.flag);
+        let inst = MonoidInstance::from_erased(entry.monoid);
+        inst.reduce_into(entry.view, view);
+    }
+
+    /// As [`DomainInner::fold_into_leftmost`], for callers that already
+    /// hold the reducer's serial borrow (the `Reducer` serial-point ops).
+    ///
+    /// # Safety
+    ///
+    /// Same as `fold_into_leftmost`, plus: the caller must hold the
+    /// reducer's serial-access borrow.
+    pub(crate) unsafe fn fold_into_leftmost_unguarded(&self, slot: Slot, view: *mut u8) {
+        let entry = self
+            .leftmost_entry(slot)
+            .unwrap_or_else(|| panic!("views outlive reducer for slot {slot}"));
+        let inst = MonoidInstance::from_erased(entry.monoid);
+        inst.reduce_into(entry.view, view);
+    }
+
+    /// Takes an empty public SPA map from the global pool (or a fresh one).
+    pub(crate) fn take_public_map(&self) -> SpaMapBox {
+        self.public_pool.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns empty public SPA maps to the global pool.
+    pub(crate) fn recycle_public_maps(&self, maps: impl IntoIterator<Item = SpaMapBox>) {
+        let mut pool = self.public_pool.lock();
+        for m in maps {
+            debug_assert!(m.as_ref().is_empty(), "recycling a non-empty public map");
+            pool.push(m);
+        }
+    }
+
+    /// Number of live reducers (registered leftmost entries) — test aid.
+    pub fn live_reducers(&self) -> usize {
+        self.leftmost.lock().iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The simulated physical-page arena backing the workers' TLMM
+    /// regions (diagnostics and leak tests).
+    pub fn arena_handle(&self) -> &Arc<PageArena> {
+        &self.arena
+    }
+}
+
+/// A guard for serial (outside-region or serial-point) accesses to one
+/// reducer: panics on concurrent serial access rather than racing.
+pub(crate) struct SerialBorrow<'a> {
+    flag: &'a AtomicBool,
+}
+
+impl<'a> SerialBorrow<'a> {
+    pub fn acquire(flag: &'a AtomicBool) -> SerialBorrow<'a> {
+        assert!(
+            !flag.swap(true, Ordering::Acquire),
+            "concurrent serial access to a reducer (serial accesses must not overlap)"
+        );
+        SerialBorrow { flag }
+    }
+}
+
+impl Drop for SerialBorrow<'_> {
+    fn drop(&mut self) {
+        self.flag.store(false, Ordering::Release);
+    }
+}
+
+/// A work-stealing pool with a reducer mechanism installed — one "runtime
+/// system" in the paper's sense. Construct one per experiment arm:
+/// `ReducerPool::new(16, Backend::Mmap)` is Cilk-M 1.0,
+/// `ReducerPool::new(16, Backend::Hypermap)` is Cilk Plus.
+pub struct ReducerPool {
+    pool: Pool,
+    domain: Arc<DomainInner>,
+}
+
+impl ReducerPool {
+    /// Creates a pool of `threads` workers running the given backend.
+    pub fn new(threads: usize, backend: Backend) -> ReducerPool {
+        Self::with_stack_size(threads, backend, 8 << 20)
+    }
+
+    /// As [`ReducerPool::new`] with an explicit worker stack size.
+    pub fn with_stack_size(threads: usize, backend: Backend, stack: usize) -> ReducerPool {
+        let domain = Arc::new(DomainInner::new(backend));
+        let hooks: Arc<dyn HyperHooks> = match backend {
+            Backend::Hypermap => Arc::new(crate::hypermap::HypermapHooks::new(Arc::clone(&domain))),
+            Backend::Mmap => Arc::new(crate::mmap::MmapHooks::new(Arc::clone(&domain))),
+        };
+        let pool = PoolBuilder::new(threads)
+            .hooks(hooks)
+            .stack_size(stack)
+            .build();
+        ReducerPool { pool, domain }
+    }
+
+    /// Runs `f` as a parallel region; reducer final values are folded into
+    /// leftmost storage before this returns.
+    pub fn run<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.pool.run(f)
+    }
+
+    /// Number of workers.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// Which backend this pool runs.
+    pub fn backend(&self) -> Backend {
+        self.domain.backend
+    }
+
+    /// The shared domain (for creating reducers and reading instruments).
+    pub fn domain(&self) -> &Arc<DomainInner> {
+        &self.domain
+    }
+
+    /// Scheduler statistics (steals etc.).
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Reducer-mechanism instrumentation totals.
+    pub fn instrument(&self) -> InstrumentSnapshot {
+        self.domain.instrument()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_recycled() {
+        let d = DomainInner::new(Backend::Mmap);
+        let a = d.alloc_slot();
+        let b = d.alloc_slot();
+        assert_ne!(a, b);
+        d.free_slot(a);
+        assert_eq!(d.alloc_slot(), a);
+    }
+
+    #[test]
+    fn leftmost_registry_roundtrip() {
+        let d = DomainInner::new(Backend::Hypermap);
+        let s = d.alloc_slot();
+        let view = Box::into_raw(Box::new(5u64)) as *mut u8;
+        let flag = AtomicBool::new(false);
+        d.register_leftmost(s, view, std::ptr::null(), &flag);
+        assert_eq!(d.live_reducers(), 1);
+        let e = d.leftmost_entry(s).unwrap();
+        assert_eq!(e.view, view);
+        let e = d.unregister_leftmost(s).unwrap();
+        unsafe { drop(Box::from_raw(e.view as *mut u64)) };
+        assert_eq!(d.live_reducers(), 0);
+        assert!(d.leftmost_entry(s).is_none());
+    }
+
+    #[test]
+    fn public_map_pool_recycles() {
+        let d = DomainInner::new(Backend::Mmap);
+        let m = d.take_public_map();
+        d.recycle_public_maps([m]);
+        let _m2 = d.take_public_map(); // reused, no assertion = fine
+    }
+
+    #[test]
+    fn serial_borrow_excludes() {
+        let flag = AtomicBool::new(false);
+        let b = SerialBorrow::acquire(&flag);
+        assert!(flag.load(Ordering::Relaxed));
+        drop(b);
+        assert!(!flag.load(Ordering::Relaxed));
+        let _b2 = SerialBorrow::acquire(&flag);
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent serial access")]
+    fn serial_borrow_panics_on_overlap() {
+        let flag = AtomicBool::new(false);
+        let _a = SerialBorrow::acquire(&flag);
+        let _b = SerialBorrow::acquire(&flag);
+    }
+
+    #[test]
+    fn pools_construct_for_both_backends() {
+        let h = ReducerPool::new(2, Backend::Hypermap);
+        let m = ReducerPool::new(2, Backend::Mmap);
+        assert_eq!(h.backend(), Backend::Hypermap);
+        assert_eq!(m.backend(), Backend::Mmap);
+        assert_eq!(h.run(|| 1 + 1), 2);
+        assert_eq!(m.run(|| 2 + 2), 4);
+    }
+}

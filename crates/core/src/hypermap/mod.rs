@@ -1,0 +1,269 @@
+//! The hypermap reducer backend — our re-implementation of the Cilk Plus
+//! mechanism the paper uses as its baseline (§3).
+//!
+//! Each execution context owns a [`HyperMap`] (a chained hash table from
+//! reducer id to view). Lookups hash and probe; first accesses after a
+//! steal lazily create identity views and insert them; view transferal is
+//! a pointer switch (the whole map moves); hypermerge sweeps the smaller
+//! map into the larger, invoking the monoid reduce for keys present in
+//! both.
+
+mod table;
+
+pub use table::HyperMap;
+
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cilkm_runtime::{DetachedViews, HyperHooks};
+use cilkm_spa::ViewPair;
+
+use crate::domain::{DomainInner, Slot};
+use crate::instrument::Instrument;
+use crate::monoid::MonoidInstance;
+
+/// Per-worker state: the current context's hypermap.
+///
+/// The map is boxed because that is how Cilk Plus holds it too
+/// (`w->reducer_map` is a pointer to a heap-allocated `cilkred_map`): the
+/// lookup path pays one extra dependent load to reach the buckets, view
+/// transferal switches the pointer, and a thief's fresh context is a
+/// freshly allocated empty map (§3).
+pub struct HypermapWorkerState {
+    domain: Arc<DomainInner>,
+    current: Box<HyperMap>,
+    lookups: Cell<u64>,
+}
+
+thread_local! {
+    static HYPERMAP_TLS: Cell<*mut HypermapWorkerState> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+impl HypermapWorkerState {
+    fn flush_lookups(&self) {
+        let n = self.lookups.take();
+        if n != 0 {
+            self.domain
+                .instrument
+                .lookups
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for HypermapWorkerState {
+    fn drop(&mut self) {
+        self.flush_lookups();
+        HYPERMAP_TLS.with(|c| c.set(std::ptr::null_mut()));
+        // Any leftover views (a panicked region) are destroyed, not leaked.
+        for (_, _, pair) in self.current.drain() {
+            unsafe { MonoidInstance::from_erased(pair.monoid).drop_view(pair.view) };
+        }
+    }
+}
+
+/// The reducer lookup, hypermap style: hash the reducer id, walk the
+/// bucket chain, lazily creating an identity view on a miss.
+///
+/// Returns `None` when the calling thread is not a worker of `domain`'s
+/// pool (the caller then takes the serial leftmost path).
+///
+/// Deliberately `#[inline(never)]`: in Cilk Plus every reducer access is
+/// an opaque call into the runtime (`__cilkrts_hyper_lookup` through the
+/// ABI of [17]), whereas the memory-mapped lookup of Cilk-M compiles to
+/// straight-line loads because the "map" is the virtual-memory hardware.
+/// Keeping the hypermap lookup out-of-line preserves that structural
+/// difference, which is part of what Figure 1 measures.
+#[inline(never)]
+pub(crate) fn lookup(slot: Slot, inst: &MonoidInstance, domain: &DomainInner) -> Option<*mut u8> {
+    let ptr = HYPERMAP_TLS.with(|c| c.get());
+    if ptr.is_null() {
+        return None;
+    }
+    // The hash key is the reducer's address (§3), as in Cilk Plus.
+    let key = inst.as_erased() as u64;
+    unsafe {
+        {
+            let st = &*ptr;
+            assert!(
+                std::ptr::eq(Arc::as_ptr(&st.domain), domain),
+                "reducer used on a worker of a different pool"
+            );
+            st.lookups.set(st.lookups.get() + 1);
+            if let Some(pair) = st.current.get(key) {
+                return Some(pair.view);
+            }
+        }
+        // Miss: create an identity view (user code — no state borrow held).
+        let t0 = std::time::Instant::now();
+        let view = inst.identity();
+        domain
+            .instrument
+            .view_creations
+            .fetch_add(1, Ordering::Relaxed);
+        Instrument::add_short_ns(&domain.instrument.view_creation_ns, t0);
+
+        let t1 = std::time::Instant::now();
+        (*ptr).current.insert(
+            key,
+            slot,
+            ViewPair {
+                view,
+                monoid: inst.as_erased(),
+            },
+        );
+        domain
+            .instrument
+            .view_insertions
+            .fetch_add(1, Ordering::Relaxed);
+        Instrument::add_short_ns(&domain.instrument.view_insertion_ns, t1);
+        Some(view)
+    }
+}
+
+/// Removes (and returns) the current context's view for `slot`, if the
+/// calling thread is a worker of `domain`'s pool and holds one. Used by
+/// serial-point reads and reducer destruction.
+pub(crate) fn remove_current(key: u64, domain: &DomainInner) -> Option<*mut u8> {
+    let ptr = HYPERMAP_TLS.with(|c| c.get());
+    if ptr.is_null() {
+        return None;
+    }
+    unsafe {
+        let st = &mut *ptr;
+        assert!(std::ptr::eq(Arc::as_ptr(&st.domain), domain));
+        st.current.remove(key).map(|p| p.view)
+    }
+}
+
+/// The hypermap implementation of the scheduler hooks.
+pub struct HypermapHooks {
+    domain: Arc<DomainInner>,
+}
+
+impl HypermapHooks {
+    /// Hooks for `domain`.
+    pub fn new(domain: Arc<DomainInner>) -> HypermapHooks {
+        HypermapHooks { domain }
+    }
+
+    fn ins(&self) -> &Instrument {
+        &self.domain.instrument
+    }
+}
+
+impl HyperHooks for HypermapHooks {
+    fn make_worker_state(&self, _index: usize) -> Box<dyn Any + Send> {
+        let state = Box::new(HypermapWorkerState {
+            domain: Arc::clone(&self.domain),
+            current: Box::new(HyperMap::new()),
+            lookups: Cell::new(0),
+        });
+        // The Box's heap address is stable; publish it for the fast path.
+        let raw = &*state as *const HypermapWorkerState as *mut HypermapWorkerState;
+        HYPERMAP_TLS.with(|c| c.set(raw));
+        state
+    }
+
+    fn detach(&self, state: &mut dyn Any) -> DetachedViews {
+        let st = state
+            .downcast_mut::<HypermapWorkerState>()
+            .expect("hypermap state");
+        st.flush_lookups();
+        let t0 = crate::instrument::thread_time_ns();
+        // View transferal in the hypermap scheme: switch a few pointers —
+        // the whole map is handed over, and the context gets a freshly
+        // created empty map, as on a steal in Cilk Plus (§3, §7).
+        let map = std::mem::replace(&mut st.current, Box::new(HyperMap::new()));
+        let n = map.len() as u64;
+        if n != 0 {
+            self.ins().transferals.fetch_add(1, Ordering::Relaxed);
+            self.ins().transferal_views.fetch_add(n, Ordering::Relaxed);
+        }
+        Instrument::add_ns(&self.ins().transferal_ns, t0);
+        // `map` is already a heap allocation; hand it over as-is.
+        map
+    }
+
+    fn attach(&self, state: &mut dyn Any, views: DetachedViews) {
+        let st = state
+            .downcast_mut::<HypermapWorkerState>()
+            .expect("hypermap state");
+        let map = views.downcast::<HyperMap>().expect("hypermap views");
+        debug_assert!(st.current.is_empty(), "attach over non-empty context");
+        st.current = map;
+    }
+
+    fn merge_right(&self, state: &mut dyn Any, right: DetachedViews) {
+        // Raw pointer: monoid reduce is user code that may itself perform
+        // reducer lookups through the TLS path, so no `&mut` to the state
+        // may be live across those calls.
+        let st: *mut HypermapWorkerState = state
+            .downcast_mut::<HypermapWorkerState>()
+            .expect("hypermap state");
+        let mut right = right.downcast::<HyperMap>().expect("hypermap views");
+        let t0 = crate::instrument::thread_time_ns();
+        self.ins().merges.fetch_add(1, Ordering::Relaxed);
+
+        unsafe {
+            let left_len = (*st).current.len();
+            if right.len() <= left_len {
+                // Sweep the smaller (right) set into the current map.
+                for (key, slot, rpair) in right.drain() {
+                    let existing = (*st).current.get(key);
+                    match existing {
+                        Some(lpair) => {
+                            self.ins().merge_pairs.fetch_add(1, Ordering::Relaxed);
+                            MonoidInstance::from_erased(rpair.monoid)
+                                .reduce_into(lpair.view, rpair.view);
+                        }
+                        None => {
+                            (*st).current.insert(key, slot, rpair);
+                        }
+                    }
+                }
+            } else {
+                // Sweep the smaller (left) set into the right map, keeping
+                // left as the serially-earlier operand, then adopt it.
+                let drained = (*st).current.drain();
+                for (key, slot, lpair) in drained {
+                    match right.remove(key) {
+                        Some(rpair) => {
+                            self.ins().merge_pairs.fetch_add(1, Ordering::Relaxed);
+                            MonoidInstance::from_erased(lpair.monoid)
+                                .reduce_into(lpair.view, rpair.view);
+                            right.insert(key, slot, lpair);
+                        }
+                        None => {
+                            right.insert(key, slot, lpair);
+                        }
+                    }
+                }
+                (*st).current = right;
+            }
+        }
+        Instrument::add_ns(&self.ins().merge_ns, t0);
+    }
+
+    fn collect_root(&self, state: &mut dyn Any) {
+        let st: *mut HypermapWorkerState = state
+            .downcast_mut::<HypermapWorkerState>()
+            .expect("hypermap state");
+        unsafe {
+            (*st).flush_lookups();
+            let drained = (*st).current.drain();
+            for (_, slot, pair) in drained {
+                self.domain.fold_into_leftmost(slot, pair.view);
+            }
+        }
+    }
+
+    fn discard(&self, views: DetachedViews) {
+        let mut map = *views.downcast::<HyperMap>().expect("hypermap views");
+        for (_, _, pair) in map.drain() {
+            unsafe { MonoidInstance::from_erased(pair.monoid).drop_view(pair.view) };
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! The memory-mapped reducer backend — the paper's contribution (§4–§7).
+//!
+//! Each worker owns a TLMM region (simulated by `cilkm-tlmm`) whose pages
+//! hold **private SPA maps**: arrays of (view pointer, monoid pointer)
+//! pairs indexed by the reducer's slot — the `tlmm_addr` of §6. The
+//! moving parts:
+//!
+//! * **Thread-local indirection (§5)** — the region stores only pointers;
+//!   views live on the shared heap, so hypermerges need no remapping and
+//!   no pointer swizzling, and the region itself needs only a trivial
+//!   fixed-size-slot allocator (the domain's slot allocator).
+//! * **Lookup (§6)** — resolve the slot's private SPA element and test
+//!   the view pointer: a couple of loads and one predictable branch. A
+//!   miss (at most once per reducer per steal) lazily creates an identity
+//!   view and inserts it: one pointer-pair write plus a log append.
+//! * **View transferal by copying (§7)** — a terminating context copies
+//!   its private pairs into **public SPA maps** in shared memory, zeroing
+//!   the private entries as it goes, so the worker returns to work-
+//!   stealing with a provably empty private region. Public maps are
+//!   page-sized, born zeroed, and recycled through per-worker pools with
+//!   a global overflow pool, in the manner of Hoard.
+//! * **Hypermerge (§7)** — sweep the view set with *fewer* views into the
+//!   one with more, reducing pairs in serial order and zeroing the swept
+//!   set, which is thereby recyclable.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cilkm_runtime::{DetachedViews, HyperHooks};
+use cilkm_spa::{InsertOutcome, SpaMapBox, SpaMapRef, ViewPair, VIEWS_PER_MAP};
+use cilkm_tlmm::{PageDesc, TlmmRegion};
+
+use crate::domain::{DomainInner, Slot};
+use crate::instrument::Instrument;
+use crate::monoid::MonoidInstance;
+
+/// How many empty public SPA maps a worker caches locally before spilling
+/// half to the domain's global pool.
+const LOCAL_POOL_CAP: usize = 8;
+
+/// Per-worker state: the TLMM region, the private SPA maps living in it,
+/// and the local recycle pool of public maps.
+pub struct MmapWorkerState {
+    domain: Arc<DomainInner>,
+    region: TlmmRegion,
+    /// Private SPA map accessors, one per mapped region page.
+    pages: Vec<SpaMapRef>,
+    /// Descriptors of the mapped pages (for cleanup).
+    descs: Vec<PageDesc>,
+    /// Empty, zeroed private pages ready for remapping (filled when a
+    /// suspended context is resumed and the interim context's pages are
+    /// retired).
+    free_pages: Vec<(PageDesc, SpaMapRef)>,
+    /// Local pool of empty public SPA maps.
+    local_pool: Vec<SpaMapBox>,
+    lookups: Cell<u64>,
+    /// Number of views currently in the private maps (drives the
+    /// sweep-smaller choice during hypermerge).
+    current_views: usize,
+}
+
+/// The thread-local fast-path descriptor: a snapshot of the worker's
+/// private page table. Real Cilk-M needs none of this — the MMU *is* the
+/// table — so the simulation keeps its stand-in as short as possible:
+/// one TLS load yields the page array base, length, and owning domain.
+#[derive(Copy, Clone)]
+struct MmapTls {
+    pages: *const SpaMapRef,
+    len: usize,
+    domain: *const DomainInner,
+    state: *mut MmapWorkerState,
+}
+
+impl MmapTls {
+    const NULL: MmapTls = MmapTls {
+        pages: std::ptr::null(),
+        len: 0,
+        domain: std::ptr::null(),
+        state: std::ptr::null_mut(),
+    };
+}
+
+thread_local! {
+    static MMAP_TLS: Cell<MmapTls> = const { Cell::new(MmapTls::NULL) };
+}
+
+/// Refreshes the TLS snapshot after any change to the page table.
+fn publish_tls(state: *mut MmapWorkerState) {
+    unsafe {
+        let st = &*state;
+        MMAP_TLS.with(|c| {
+            c.set(MmapTls {
+                pages: st.pages.as_ptr(),
+                len: st.pages.len(),
+                domain: Arc::as_ptr(&st.domain),
+                state,
+            })
+        });
+    }
+}
+
+/// A detached view set: public SPA maps produced by view transferal,
+/// tagged with the private page index each came from.
+pub struct MmapDetached {
+    maps: Vec<(u32, SpaMapBox)>,
+    count: usize,
+}
+
+/// A *suspended* context: the worker's private pages themselves, set
+/// aside wholesale. Because SPA-map accessors point at the simulated
+/// physical pages, the views never move — suspension is O(#pages)
+/// pointer swaps and resumption is one batched `sys_pmap`, exactly the
+/// "remapping amortized against steals" of §5. Never crosses workers.
+struct MmapSuspended {
+    descs: Vec<PageDesc>,
+    pages: Vec<SpaMapRef>,
+    views: usize,
+}
+
+unsafe impl Send for MmapSuspended {}
+
+impl MmapDetached {
+    /// Number of views carried.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+impl MmapWorkerState {
+    fn flush_lookups(&self) {
+        let n = self.lookups.take();
+        if n != 0 {
+            self.domain
+                .instrument
+                .lookups
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Maps fresh zeroed pages so the private maps cover `page` (a
+    /// simulated `sys_palloc` + one batched `sys_pmap`, amortized against
+    /// steals as §5 argues).
+    #[cold]
+    fn ensure_page(&mut self, page: usize) {
+        if page < self.pages.len() {
+            return;
+        }
+        let first_new = self.pages.len();
+        // Prefer recycled (empty, zeroed) pages over fresh allocations.
+        let new_descs: Vec<PageDesc> = (first_new..=page)
+            .map(|_| match self.free_pages.pop() {
+                Some((pd, _)) => pd,
+                None => self.region.arena().palloc(),
+            })
+            .collect();
+        self.region.pmap(first_new, &new_descs);
+        for (i, pd) in new_descs.into_iter().enumerate() {
+            let base = self.region.arena().page_base(pd);
+            debug_assert_eq!(base, self.region.page_base(first_new + i));
+            // Fresh and recycled pages are zeroed: valid empty SPA maps.
+            self.pages.push(unsafe { SpaMapRef::from_raw(base) });
+            self.descs.push(pd);
+        }
+        publish_tls(self as *mut MmapWorkerState);
+    }
+
+    fn take_map(&mut self) -> SpaMapBox {
+        self.local_pool
+            .pop()
+            .unwrap_or_else(|| self.domain.take_public_map())
+    }
+
+    fn recycle_map(&mut self, map: SpaMapBox) {
+        debug_assert!(map.as_ref().is_empty());
+        if self.local_pool.len() < LOCAL_POOL_CAP {
+            self.local_pool.push(map);
+        } else {
+            // Rebalance in the manner of Hoard: spill half the local pool.
+            let spill = self.local_pool.split_off(LOCAL_POOL_CAP / 2);
+            self.domain.recycle_public_maps(spill);
+            self.domain.recycle_public_maps([map]);
+        }
+    }
+}
+
+impl Drop for MmapWorkerState {
+    fn drop(&mut self) {
+        self.flush_lookups();
+        MMAP_TLS.with(|c| c.set(MmapTls::NULL));
+        // Destroy any leftover views (possible after a panicked region).
+        for page in &self.pages {
+            page.drain(|_, pair| unsafe {
+                MonoidInstance::from_erased(pair.monoid).drop_view(pair.view);
+            });
+        }
+        for pd in self.descs.drain(..) {
+            self.region.arena().pfree(pd);
+        }
+        for (pd, _) in self.free_pages.drain(..) {
+            self.region.arena().pfree(pd);
+        }
+    }
+}
+
+/// Copies out the `SpaMapRef` accessor for private page `pidx` through a
+/// raw state pointer, with an explicit short-lived borrow (the borrow ends
+/// before any user code can run).
+///
+/// # Safety
+///
+/// `st` must point to a live `MmapWorkerState` on the current thread and
+/// `pidx` must be a mapped page index.
+#[inline]
+unsafe fn page_at(st: *mut MmapWorkerState, pidx: usize) -> SpaMapRef {
+    (&(*st).pages)[pidx]
+}
+
+/// The memory-mapped reducer lookup (§6): two loads and a predictable
+/// branch on the hit path.
+///
+/// Returns `None` when the calling thread is not a worker of `domain`'s
+/// pool (the caller then takes the serial leftmost path).
+#[inline]
+pub(crate) fn lookup(
+    page: usize,
+    idx: usize,
+    inst: &MonoidInstance,
+    domain: &DomainInner,
+) -> Option<*mut u8> {
+    let tls = MMAP_TLS.with(|c| c.get());
+    if tls.state.is_null() {
+        return None;
+    }
+    assert!(
+        std::ptr::eq(tls.domain, domain),
+        "reducer used on a worker of a different pool"
+    );
+    unsafe {
+        {
+            let st = &*tls.state;
+            st.lookups.set(st.lookups.get() + 1);
+            if page < tls.len {
+                // The fast path the paper counts: dereference the slot's
+                // private SPA element and test the view pointer.
+                let view = (*(*tls.pages.add(page)).slot_ptr(idx)).view;
+                if !view.is_null() {
+                    return Some(view);
+                }
+            }
+        }
+        let ptr = tls.state;
+        // Miss: happens at most once per reducer per steal (§6).
+        (*ptr).ensure_page(page);
+
+        let t0 = std::time::Instant::now();
+        let view = inst.identity();
+        domain
+            .instrument
+            .view_creations
+            .fetch_add(1, Ordering::Relaxed);
+        Instrument::add_short_ns(&domain.instrument.view_creation_ns, t0);
+
+        let t1 = std::time::Instant::now();
+        let outcome = page_at(ptr, page).insert(
+            idx,
+            ViewPair {
+                view,
+                monoid: inst.as_erased(),
+            },
+        );
+        if outcome == InsertOutcome::Overflowed {
+            domain
+                .instrument
+                .log_overflows
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        (*ptr).current_views += 1;
+        domain
+            .instrument
+            .view_insertions
+            .fetch_add(1, Ordering::Relaxed);
+        Instrument::add_short_ns(&domain.instrument.view_insertion_ns, t1);
+        Some(view)
+    }
+}
+
+/// Removes (and returns) the current context's view for `slot`, if any.
+pub(crate) fn remove_current(slot: Slot, domain: &DomainInner) -> Option<*mut u8> {
+    let tls = MMAP_TLS.with(|c| c.get());
+    if tls.state.is_null() {
+        return None;
+    }
+    let page = slot as usize / VIEWS_PER_MAP;
+    let idx = slot as usize % VIEWS_PER_MAP;
+    unsafe {
+        let st = &mut *tls.state;
+        assert!(std::ptr::eq(Arc::as_ptr(&st.domain), domain));
+        if page < st.pages.len() && !st.pages[page].get(idx).is_null() {
+            let pair = st.pages[page].remove(idx);
+            st.current_views -= 1;
+            Some(pair.view)
+        } else {
+            None
+        }
+    }
+}
+
+/// The memory-mapped implementation of the scheduler hooks.
+pub struct MmapHooks {
+    domain: Arc<DomainInner>,
+}
+
+impl MmapHooks {
+    /// Hooks for `domain`.
+    pub fn new(domain: Arc<DomainInner>) -> MmapHooks {
+        MmapHooks { domain }
+    }
+
+    fn ins(&self) -> &Instrument {
+        &self.domain.instrument
+    }
+}
+
+impl HyperHooks for MmapHooks {
+    fn make_worker_state(&self, _index: usize) -> Box<dyn Any + Send> {
+        let state = Box::new(MmapWorkerState {
+            domain: Arc::clone(&self.domain),
+            region: TlmmRegion::new(Arc::clone(&self.domain.arena)),
+            pages: Vec::new(),
+            descs: Vec::new(),
+            free_pages: Vec::new(),
+            local_pool: Vec::new(),
+            lookups: Cell::new(0),
+            current_views: 0,
+        });
+        let raw = &*state as *const MmapWorkerState as *mut MmapWorkerState;
+        publish_tls(raw);
+        state
+    }
+
+    fn detach(&self, state: &mut dyn Any) -> DetachedViews {
+        let st = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
+        st.flush_lookups();
+        let t0 = crate::instrument::thread_time_ns();
+        let mut maps = Vec::new();
+        let mut count = 0usize;
+        if st.current_views != 0 {
+            for pidx in 0..st.pages.len() {
+                let private = st.pages[pidx];
+                if private.nvalid() == 0 {
+                    continue;
+                }
+                // The copying strategy of §7: copy each valid pair into a
+                // public SPA map, zeroing the private entry as we go.
+                let public = st.take_map();
+                let public_ref = public.as_ref();
+                private.drain(|idx, pair| {
+                    public_ref.insert(idx, pair);
+                });
+                count += public_ref.nvalid();
+                maps.push((pidx as u32, public));
+            }
+            st.current_views = 0;
+        }
+        if count != 0 {
+            self.ins().transferals.fetch_add(1, Ordering::Relaxed);
+            self.ins()
+                .transferal_views
+                .fetch_add(count as u64, Ordering::Relaxed);
+        }
+        Instrument::add_ns(&self.ins().transferal_ns, t0);
+        Box::new(MmapDetached { maps, count })
+    }
+
+    fn attach(&self, state: &mut dyn Any, views: DetachedViews) {
+        let st = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
+        let det = *views.downcast::<MmapDetached>().expect("mmap views");
+        debug_assert_eq!(st.current_views, 0, "attach over non-empty context");
+        let t0 = crate::instrument::thread_time_ns();
+        for (pidx, public) in det.maps {
+            let pidx = pidx as usize;
+            st.ensure_page(pidx);
+            let private = st.pages[pidx];
+            public.as_ref().drain(|idx, pair| {
+                private.insert(idx, pair);
+            });
+            st.recycle_map(public);
+        }
+        st.current_views = det.count;
+        Instrument::add_ns(&self.ins().transferal_ns, t0);
+    }
+
+    fn merge_right(&self, state: &mut dyn Any, right: DetachedViews) {
+        // Raw-pointer discipline: monoid reduce operations are user code
+        // and may perform reducer lookups through MMAP_TLS; no `&mut` to
+        // the state may be live across them.
+        let st: *mut MmapWorkerState = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
+        let det = *right.downcast::<MmapDetached>().expect("mmap views");
+        let t0 = crate::instrument::thread_time_ns();
+        self.ins().merges.fetch_add(1, Ordering::Relaxed);
+        let mut pairs_reduced = 0u64;
+
+        unsafe {
+            let left_count = (*st).current_views;
+            if det.count <= left_count {
+                // Sweep the smaller (right) set into the private maps.
+                let mut total = left_count;
+                for (pidx, public) in det.maps {
+                    let pidx = pidx as usize;
+                    (*st).ensure_page(pidx);
+                    // Collect first: reduce calls must not overlap a
+                    // borrow of the state.
+                    let mut entries = Vec::new();
+                    public.as_ref().drain(|idx, pair| entries.push((idx, pair)));
+                    (*st).recycle_map(public);
+                    for (idx, rpair) in entries {
+                        let private = page_at(st, pidx);
+                        let lpair = private.get(idx);
+                        if lpair.is_null() {
+                            private.insert(idx, rpair);
+                            total += 1;
+                        } else {
+                            pairs_reduced += 1;
+                            MonoidInstance::from_erased(rpair.monoid)
+                                .reduce_into(lpair.view, rpair.view);
+                        }
+                    }
+                }
+                (*st).current_views = total;
+            } else {
+                // Sweep the smaller (left, private) set into the right
+                // maps — keeping left as the serially-earlier operand —
+                // then install the merged result back into the region.
+                let mut right_maps = det.maps;
+                let mut total = det.count;
+                let npages = (*st).pages.len();
+                for pidx in 0..npages {
+                    let private = page_at(st, pidx);
+                    if private.nvalid() == 0 {
+                        continue;
+                    }
+                    let mut entries = Vec::new();
+                    private.drain(|idx, pair| entries.push((idx, pair)));
+                    // Find or create the public map for this page.
+                    let pos = match right_maps.iter().position(|(p, _)| *p as usize == pidx) {
+                        Some(pos) => pos,
+                        None => {
+                            let m = (*st).take_map();
+                            right_maps.push((pidx as u32, m));
+                            right_maps.len() - 1
+                        }
+                    };
+                    for (idx, lpair) in entries {
+                        let rmap = right_maps[pos].1.as_ref();
+                        let rpair = rmap.get(idx);
+                        if rpair.is_null() {
+                            rmap.insert(idx, lpair);
+                            total += 1;
+                        } else {
+                            pairs_reduced += 1;
+                            rmap.remove(idx);
+                            MonoidInstance::from_erased(lpair.monoid)
+                                .reduce_into(lpair.view, rpair.view);
+                            rmap.insert(idx, lpair);
+                        }
+                    }
+                }
+                (*st).current_views = 0;
+                // Install the merged set as the current private views.
+                for (pidx, public) in right_maps {
+                    let pidx = pidx as usize;
+                    (*st).ensure_page(pidx);
+                    let private = page_at(st, pidx);
+                    public.as_ref().drain(|idx, pair| {
+                        private.insert(idx, pair);
+                    });
+                    (*st).recycle_map(public);
+                }
+                (*st).current_views = total;
+            }
+        }
+        self.ins()
+            .merge_pairs
+            .fetch_add(pairs_reduced, Ordering::Relaxed);
+        Instrument::add_ns(&self.ins().merge_ns, t0);
+    }
+
+    fn collect_root(&self, state: &mut dyn Any) {
+        let st: *mut MmapWorkerState = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
+        unsafe {
+            (*st).flush_lookups();
+            if (*st).current_views == 0 {
+                return;
+            }
+            let mut entries: Vec<(usize, ViewPair)> = Vec::new();
+            let npages = (*st).pages.len();
+            for pidx in 0..npages {
+                let private = page_at(st, pidx);
+                private.drain(|idx, pair| entries.push((pidx * VIEWS_PER_MAP + idx, pair)));
+            }
+            (*st).current_views = 0;
+            for (slot, pair) in entries {
+                self.domain.fold_into_leftmost(slot as Slot, pair.view);
+            }
+        }
+    }
+
+    fn discard(&self, views: DetachedViews) {
+        let det = *views.downcast::<MmapDetached>().expect("mmap views");
+        for (_, public) in det.maps {
+            public.as_ref().drain(|_, pair| unsafe {
+                MonoidInstance::from_erased(pair.monoid).drop_view(pair.view);
+            });
+            self.domain.recycle_public_maps([public]);
+        }
+    }
+
+    fn suspend(&self, state: &mut dyn Any) -> DetachedViews {
+        let st = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
+        st.flush_lookups();
+        // Set the private pages aside wholesale: the views stay on their
+        // physical pages; only the mapping changes hands. The interim
+        // context will map fresh pages lazily.
+        let suspended = Box::new(MmapSuspended {
+            descs: std::mem::take(&mut st.descs),
+            pages: std::mem::take(&mut st.pages),
+            views: std::mem::replace(&mut st.current_views, 0),
+        });
+        publish_tls(st as *mut MmapWorkerState);
+        suspended
+    }
+
+    fn resume(&self, state: &mut dyn Any, views: DetachedViews) {
+        let st = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
+        let saved = *views.downcast::<MmapSuspended>().expect("mmap suspended");
+        debug_assert_eq!(st.current_views, 0, "resume over non-empty context");
+        // Retire the interim context's pages: the preceding detach left
+        // them empty and zeroed, so they are directly reusable.
+        for (pd, page) in st.descs.drain(..).zip(st.pages.drain(..)) {
+            debug_assert!(page.is_empty());
+            st.free_pages.push((pd, page));
+        }
+        // One batched sys_pmap reinstates the suspended mapping — the
+        // per-steal remapping cost §5 amortizes against steals.
+        if !saved.descs.is_empty() {
+            st.region.pmap(0, &saved.descs);
+        }
+        st.descs = saved.descs;
+        st.pages = saved.pages;
+        st.current_views = saved.views;
+        publish_tls(st as *mut MmapWorkerState);
+    }
+}

@@ -1,0 +1,436 @@
+//! The user-facing reducer handle.
+//!
+//! A [`Reducer`] corresponds to a Cilk Plus `cilk::reducer` object: it
+//! owns the monoid, the *leftmost view* (which carries the initial value
+//! and, after a region, the final value), and its slot in the domain's
+//! shared id space — the `tlmm_addr` the memory-mapped backend
+//! dereferences and the key the hypermap backend hashes.
+//!
+//! Accesses go through [`Reducer::update`] (or the typed wrappers in
+//! [`crate::library`]): on a pool worker this resolves the current
+//! execution context's local view through the backend's lookup path; on
+//! any other thread it operates directly on the leftmost view (serial
+//! semantics, checked against concurrent misuse).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use crate::domain::{Backend, DomainInner, ReducerPool, SerialBorrow, Slot};
+use crate::monoid::{Monoid, MonoidInstance};
+use crate::{hypermap, mmap};
+
+struct ReducerInner<M: Monoid> {
+    /// Type-erased ops; views in the runtime's maps point at this.
+    instance: MonoidInstance,
+    /// Keeps `instance.data` alive.
+    monoid: Arc<M>,
+    slot: Slot,
+    /// `slot` pre-split into (private SPA page, in-page index): the
+    /// paper's `tlmm_addr` is a concrete address, so no arithmetic
+    /// happens on the lookup fast path.
+    page: u32,
+    idx: u32,
+    domain: Arc<DomainInner>,
+    /// Excludes overlapping serial accesses (see [`SerialBorrow`]).
+    serial_flag: AtomicBool,
+    /// Set once the leftmost entry has been extracted by `into_inner`.
+    consumed: AtomicBool,
+}
+
+unsafe impl<M: Monoid> Send for ReducerInner<M> {}
+unsafe impl<M: Monoid> Sync for ReducerInner<M> {}
+
+/// A reducer hyperobject over monoid `M`.
+///
+/// Create with [`Reducer::new`]; share across parallel branches by
+/// reference (`&Reducer<M>` is `Send + Sync`); read the final value with
+/// [`Reducer::get_cloned`], [`Reducer::take`], or [`Reducer::into_inner`].
+///
+/// # Lifetime rules (as in Cilk)
+///
+/// The reducer must outlive every parallel region that accesses it, and
+/// serial-point operations (`get_cloned`/`take`/`read`) require that no
+/// parallel branch is concurrently updating it — i.e. they are legal in
+/// the serial spine of the computation, such as between the layers of
+/// PBFS. Violations are detected where cheap (overlapping serial access
+/// panics) but cannot all be diagnosed.
+pub struct Reducer<M: Monoid> {
+    inner: Arc<ReducerInner<M>>,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Debug-only reentrancy guard: views with a live `&mut` on this
+    /// thread. `update(|v| same_reducer.update(..))` would alias `v`.
+    static ACTIVE_VIEWS: std::cell::RefCell<Vec<*mut u8>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl<M: Monoid> Reducer<M> {
+    /// Registers a new reducer with `pool`'s domain, with the given
+    /// initial value as its leftmost view.
+    pub fn new(pool: &ReducerPool, monoid: M, initial: M::View) -> Reducer<M> {
+        Self::new_in_domain(pool.domain(), monoid, initial)
+    }
+
+    /// As [`Reducer::new`], but directly against a domain.
+    pub fn new_in_domain(domain: &Arc<DomainInner>, monoid: M, initial: M::View) -> Reducer<M> {
+        let slot = domain.alloc_slot();
+        let monoid = Arc::new(monoid);
+        let inner = Arc::new(ReducerInner {
+            instance: MonoidInstance::new(&monoid),
+            monoid,
+            slot,
+            page: slot / cilkm_spa::VIEWS_PER_MAP as u32,
+            idx: slot % cilkm_spa::VIEWS_PER_MAP as u32,
+            domain: Arc::clone(domain),
+            serial_flag: AtomicBool::new(false),
+            consumed: AtomicBool::new(false),
+        });
+        let leftmost = Box::into_raw(Box::new(initial)) as *mut u8;
+        domain.register_leftmost(
+            slot,
+            leftmost,
+            inner.instance.as_erased(),
+            &inner.serial_flag as *const AtomicBool,
+        );
+        Reducer { inner }
+    }
+
+    /// The reducer's slot id (its `tlmm_addr` analogue) — diagnostics.
+    pub fn slot(&self) -> u32 {
+        self.inner.slot
+    }
+
+    /// The monoid.
+    pub fn monoid(&self) -> &M {
+        &self.inner.monoid
+    }
+
+    /// Applies `f` to the current execution context's local view —
+    /// *the* reducer access of the paper.
+    ///
+    /// On a pool worker this performs the backend lookup (hash probe for
+    /// hypermaps; load–load–branch for memory-mapped reducers), lazily
+    /// creating an identity view on the first access after a steal. On a
+    /// non-worker thread it addresses the leftmost view directly.
+    ///
+    /// `f` must not access *this* reducer reentrantly (checked in debug
+    /// builds); accessing other reducers is fine.
+    #[inline]
+    pub fn update<R>(&self, f: impl FnOnce(&mut M::View) -> R) -> R {
+        let inner = &*self.inner;
+        let view = match inner.domain.backend {
+            Backend::Mmap => mmap::lookup(
+                inner.page as usize,
+                inner.idx as usize,
+                &inner.instance,
+                &inner.domain,
+            ),
+            Backend::Hypermap => hypermap::lookup(inner.slot, &inner.instance, &inner.domain),
+        };
+        match view {
+            Some(v) => unsafe { Self::apply(v, f) },
+            None => self.update_serial(f),
+        }
+    }
+
+    #[inline]
+    unsafe fn apply<R>(view: *mut u8, f: impl FnOnce(&mut M::View) -> R) -> R {
+        #[cfg(debug_assertions)]
+        {
+            ACTIVE_VIEWS.with(|av| {
+                let mut av = av.borrow_mut();
+                assert!(
+                    !av.contains(&view),
+                    "reentrant access to the same reducer view"
+                );
+                av.push(view);
+            });
+            struct Pop(*mut u8);
+            impl Drop for Pop {
+                fn drop(&mut self) {
+                    ACTIVE_VIEWS.with(|av| {
+                        let mut av = av.borrow_mut();
+                        let p = av.pop();
+                        debug_assert_eq!(p, Some(self.0));
+                    });
+                }
+            }
+            let _pop = Pop(view);
+            f(&mut *(view as *mut M::View))
+        }
+        #[cfg(not(debug_assertions))]
+        f(&mut *(view as *mut M::View))
+    }
+
+    #[cold]
+    fn update_serial<R>(&self, f: impl FnOnce(&mut M::View) -> R) -> R {
+        let inner = &*self.inner;
+        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        inner
+            .domain
+            .instrument
+            .lookups
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let entry = inner
+            .domain
+            .leftmost_entry(inner.slot)
+            .expect("reducer already consumed");
+        unsafe { Self::apply(entry.view, f) }
+    }
+
+    /// Folds the *current worker context's* view (if any) into leftmost
+    /// storage. Sound only at a serial point for this reducer; the caller
+    /// must hold the reducer's serial borrow.
+    fn fold_current(&self) {
+        let inner = &*self.inner;
+        let view = match inner.domain.backend {
+            Backend::Mmap => mmap::remove_current(inner.slot, &inner.domain),
+            Backend::Hypermap => {
+                hypermap::remove_current(inner.instance.as_erased() as u64, &inner.domain)
+            }
+        };
+        if let Some(v) = view {
+            unsafe { inner.domain.fold_into_leftmost_unguarded(inner.slot, v) };
+        }
+    }
+
+    /// Reads the reducer's value at a serial point, after folding any
+    /// pending context view into the leftmost view.
+    pub fn read<R>(&self, f: impl FnOnce(&M::View) -> R) -> R {
+        let inner = &*self.inner;
+        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        self.fold_current();
+        let entry = inner
+            .domain
+            .leftmost_entry(inner.slot)
+            .expect("reducer already consumed");
+        unsafe { f(&*(entry.view as *const M::View)) }
+    }
+
+    /// Clones the reducer's value at a serial point.
+    pub fn get_cloned(&self) -> M::View
+    where
+        M::View: Clone,
+    {
+        self.read(|v| v.clone())
+    }
+
+    /// Takes the accumulated value and resets the reducer to the monoid
+    /// identity — the PBFS bag-swap operation: read a layer's bag and
+    /// start the next layer empty, at the serial point between layers.
+    pub fn take(&self) -> M::View {
+        let inner = &*self.inner;
+        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        self.fold_current();
+        let fresh = Box::into_raw(Box::new(inner.monoid.identity())) as *mut u8;
+        let old = inner.domain.swap_leftmost_view(inner.slot, fresh);
+        unsafe { *Box::from_raw(old as *mut M::View) }
+    }
+
+    /// Replaces the reducer's value with `value` at a serial point,
+    /// discarding whatever was accumulated — Cilk Plus's `move_in`.
+    ///
+    /// Any pending context view is destroyed unmerged, and the leftmost
+    /// view is overwritten, so after `set` the reducer behaves as if
+    /// freshly created with `value`.
+    pub fn set(&self, value: M::View) {
+        let inner = &*self.inner;
+        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        // Discard (not fold) the current context's view, per move_in.
+        let ctx = match inner.domain.backend {
+            Backend::Mmap => mmap::remove_current(inner.slot, &inner.domain),
+            Backend::Hypermap => {
+                hypermap::remove_current(inner.instance.as_erased() as u64, &inner.domain)
+            }
+        };
+        if let Some(v) = ctx {
+            unsafe { drop(Box::from_raw(v as *mut M::View)) };
+        }
+        let fresh = Box::into_raw(Box::new(value)) as *mut u8;
+        let old = inner.domain.swap_leftmost_view(inner.slot, fresh);
+        unsafe { drop(Box::from_raw(old as *mut M::View)) };
+    }
+
+    /// Consumes the reducer and returns its final value.
+    pub fn into_inner(self) -> M::View {
+        let inner = &*self.inner;
+        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        self.fold_current();
+        inner
+            .consumed
+            .store(true, std::sync::atomic::Ordering::Release);
+        let entry = inner
+            .domain
+            .unregister_leftmost(inner.slot)
+            .expect("reducer already consumed");
+        unsafe { *Box::from_raw(entry.view as *mut M::View) }
+    }
+}
+
+impl<M: Monoid> Drop for ReducerInner<M> {
+    fn drop(&mut self) {
+        if !*self.consumed.get_mut() {
+            // Destroy the leftmost view if still registered; also remove
+            // any view the current (serial) context still holds, so the
+            // slot can be recycled safely.
+            let ctx_view = match self.domain.backend {
+                Backend::Mmap => mmap::remove_current(self.slot, &self.domain),
+                Backend::Hypermap => {
+                    hypermap::remove_current(self.instance.as_erased() as u64, &self.domain)
+                }
+            };
+            if let Some(v) = ctx_view {
+                unsafe { drop(Box::from_raw(v as *mut M::View)) };
+            }
+            if let Some(entry) = self.domain.unregister_leftmost(self.slot) {
+                unsafe { drop(Box::from_raw(entry.view as *mut M::View)) };
+            }
+        }
+        self.domain.free_slot(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::SumMonoid;
+    use cilkm_runtime::{join, parallel_for};
+
+    fn both_backends() -> Vec<ReducerPool> {
+        vec![
+            ReducerPool::new(2, Backend::Hypermap),
+            ReducerPool::new(2, Backend::Mmap),
+        ]
+    }
+
+    #[test]
+    fn serial_updates_hit_leftmost() {
+        for pool in both_backends() {
+            let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 10);
+            r.update(|v| *v += 5);
+            assert_eq!(r.get_cloned(), 15);
+            assert_eq!(r.into_inner(), 15);
+        }
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        for pool in both_backends() {
+            let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+            pool.run(|| {
+                parallel_for(0..10_000, 64, &|range| {
+                    for i in range {
+                        r.update(|v| *v += i as u64);
+                    }
+                });
+            });
+            assert_eq!(r.get_cloned(), (0..10_000u64).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn initial_value_participates() {
+        for pool in both_backends() {
+            let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 1000);
+            pool.run(|| {
+                let (_, _) = join(|| r.update(|v| *v += 1), || r.update(|v| *v += 2));
+            });
+            assert_eq!(r.into_inner(), 1003);
+        }
+    }
+
+    #[test]
+    fn take_resets_to_identity() {
+        for pool in both_backends() {
+            let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+            pool.run(|| {
+                parallel_for(0..100, 4, &|range| {
+                    for _ in range {
+                        r.update(|v| *v += 1);
+                    }
+                });
+            });
+            assert_eq!(r.take(), 100);
+            assert_eq!(r.get_cloned(), 0);
+            pool.run(|| r.update(|v| *v += 7));
+            assert_eq!(r.take(), 7);
+        }
+    }
+
+    #[test]
+    fn many_regions_accumulate() {
+        for pool in both_backends() {
+            let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+            for _ in 0..10 {
+                pool.run(|| {
+                    parallel_for(0..100, 8, &|range| {
+                        for _ in range {
+                            r.update(|v| *v += 1);
+                        }
+                    });
+                });
+            }
+            assert_eq!(r.into_inner(), 1000);
+        }
+    }
+
+    #[test]
+    fn dropping_midway_recycles_slot() {
+        for pool in both_backends() {
+            let r1 = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+            let s1 = r1.slot();
+            drop(r1);
+            let r2 = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+            assert_eq!(r2.slot(), s1, "slot recycled");
+            pool.run(|| r2.update(|v| *v += 3));
+            assert_eq!(r2.into_inner(), 3);
+        }
+    }
+
+    #[test]
+    fn lookup_instrument_counts() {
+        for pool in both_backends() {
+            let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+            pool.run(|| {
+                for _ in 0..500 {
+                    r.update(|v| *v += 1);
+                }
+            });
+            let snap = pool.instrument();
+            assert!(snap.lookups >= 500, "lookups={}", snap.lookups);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "reentrant access")]
+    fn reentrant_update_panics_in_debug() {
+        let pool = ReducerPool::new(1, Backend::Mmap);
+        let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+        pool.run(|| {
+            r.update(|_| {
+                r.update(|v| *v += 1);
+            });
+        });
+    }
+
+    #[test]
+    fn many_reducers_at_once() {
+        for pool in both_backends() {
+            let rs: Vec<_> = (0..300)
+                .map(|i| Reducer::new(&pool, SumMonoid::<u64>::new(), i as u64))
+                .collect();
+            pool.run(|| {
+                parallel_for(0..300, 8, &|range| {
+                    for i in range {
+                        rs[i].update(|v| *v += 1);
+                    }
+                });
+            });
+            for (i, r) in rs.iter().enumerate() {
+                assert_eq!(r.get_cloned(), i as u64 + 1, "reducer {i}");
+            }
+        }
+    }
+}

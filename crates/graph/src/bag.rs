@@ -1,0 +1,524 @@
+//! The bag data structure of Leiserson & Schardl's PBFS (SPAA 2010): an
+//! unordered-set container with O(1) amortized insertion and O(log n)
+//! union, built from *pennants*.
+//!
+//! A **pennant** of size 2^k is a tree whose root has exactly one child,
+//! that child being a complete binary tree of 2^k − 1 nodes. Two pennants
+//! of equal size combine into one of twice the size in constant time, and
+//! the combination is reversible (split). A **bag** is a sequence of
+//! pennants of distinct sizes — the binary representation of its element
+//! count — so inserting is binary increment (amortized O(1)) and bag
+//! union is binary addition (O(log n)).
+//!
+//! Bag union is associative with the empty bag as identity, which is
+//! exactly what makes the bag a reducer ([`BagMonoid`]): PBFS declares
+//! its "next layer" bag as a reducer so logically parallel branches can
+//! insert discovered vertices without determinacy races.
+
+use cilkm_core::Monoid;
+use cilkm_runtime::join;
+
+/// One node of a pennant's complete binary tree.
+struct Node<T> {
+    value: T,
+    left: Option<Box<Node<T>>>,
+    right: Option<Box<Node<T>>>,
+}
+
+/// A pennant holding exactly 2^k elements.
+pub struct Pennant<T> {
+    root: Box<Node<T>>,
+    k: u8,
+}
+
+impl<T> Pennant<T> {
+    /// A singleton pennant (k = 0).
+    pub fn singleton(value: T) -> Pennant<T> {
+        Pennant {
+            root: Box::new(Node {
+                value,
+                left: None,
+                right: None,
+            }),
+            k: 0,
+        }
+    }
+
+    /// Number of elements: 2^k.
+    pub fn len(&self) -> usize {
+        1usize << self.k
+    }
+
+    /// Always `false` — pennants are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Combines two pennants of equal size into one of twice the size,
+    /// in constant time (FIG. "pennant union" of the PBFS paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn union(mut self, mut other: Pennant<T>) -> Pennant<T> {
+        assert_eq!(self.k, other.k, "pennant union requires equal sizes");
+        other.root.right = self.root.left.take();
+        self.root.left = Some(other.root);
+        self.k += 1;
+        self
+    }
+
+    /// Splits a pennant of size 2^(k+1) back into two of size 2^k —
+    /// the constant-time inverse of [`Pennant::union`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a singleton.
+    pub fn split(mut self) -> (Pennant<T>, Pennant<T>) {
+        assert!(self.k > 0, "cannot split a singleton pennant");
+        let mut other_root = self.root.left.take().expect("k > 0 implies child");
+        self.root.left = other_root.right.take();
+        self.k -= 1;
+        let other = Pennant {
+            root: other_root,
+            k: self.k,
+        };
+        (self, other)
+    }
+
+    /// Serial in-order visit of every element.
+    pub fn for_each(&self, f: &mut impl FnMut(&T)) {
+        fn walk<T>(node: &Node<T>, f: &mut impl FnMut(&T)) {
+            f(&node.value);
+            if let Some(l) = &node.left {
+                walk(l, f);
+            }
+            if let Some(r) = &node.right {
+                walk(r, f);
+            }
+        }
+        walk(&self.root, f);
+    }
+
+    /// Parallel visit: subtrees above `grain` elements are processed as
+    /// separate fork-join branches. `f` observes each element exactly
+    /// once; no visit order is guaranteed (bags are unordered).
+    pub fn for_each_parallel<F>(&self, grain: usize, f: &F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        self.for_each_parallel_grains(grain, &|| (), &|(), x| f(x), &|()| {});
+    }
+
+    /// Parallel visit with per-grain state: each serial grain of the
+    /// traversal gets `init()` state, every element in the grain is fed
+    /// to `body`, and `flush` consumes the state when the grain ends.
+    ///
+    /// This is the shape PBFS needs: the grain state is a buffer of
+    /// discovered vertices, and `flush` performs one reducer access per
+    /// grain rather than one per element — which is why the paper's
+    /// Figure 10(b) lookup counts are thousands, not millions.
+    pub fn for_each_parallel_grains<S, I, B, FL>(
+        &self,
+        grain: usize,
+        init: &I,
+        body: &B,
+        flush: &FL,
+    ) where
+        T: Sync,
+        I: Fn() -> S + Sync,
+        B: Fn(&mut S, &T) + Sync,
+        FL: Fn(S) + Sync,
+    {
+        fn walk_serial<T, S>(node: &Node<T>, state: &mut S, body: &impl Fn(&mut S, &T)) {
+            body(state, &node.value);
+            if let Some(l) = &node.left {
+                walk_serial(l, state, body);
+            }
+            if let Some(r) = &node.right {
+                walk_serial(r, state, body);
+            }
+        }
+
+        fn walk_par<T, S, I, B, FL>(
+            node: &Node<T>,
+            size_hint: usize,
+            grain: usize,
+            init: &I,
+            body: &B,
+            flush: &FL,
+        ) where
+            T: Sync,
+            I: Fn() -> S + Sync,
+            B: Fn(&mut S, &T) + Sync,
+            FL: Fn(S) + Sync,
+        {
+            if size_hint <= grain {
+                let mut state = init();
+                walk_serial(node, &mut state, body);
+                flush(state);
+                return;
+            }
+            {
+                let mut state = init();
+                body(&mut state, &node.value);
+                flush(state);
+            }
+            let half = size_hint / 2;
+            match (&node.left, &node.right) {
+                (Some(l), Some(r)) => {
+                    join(
+                        || walk_par(l, half, grain, init, body, flush),
+                        || walk_par(r, half, grain, init, body, flush),
+                    );
+                }
+                (Some(l), None) => walk_par(l, size_hint - 1, grain, init, body, flush),
+                (None, Some(r)) => walk_par(r, size_hint - 1, grain, init, body, flush),
+                (None, None) => {}
+            }
+        }
+        walk_par(&self.root, self.len(), grain.max(1), init, body, flush);
+    }
+}
+
+/// An unordered multiset with O(1) insert and O(log n) union.
+pub struct Bag<T> {
+    /// `pennants[k]` holds the pennant of size 2^k, if the k-th bit of
+    /// `len` is set — the binary-counter backbone.
+    pennants: Vec<Option<Pennant<T>>>,
+    len: usize,
+}
+
+impl<T> Bag<T> {
+    /// An empty bag.
+    pub fn new() -> Bag<T> {
+        Bag {
+            pennants: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the bag holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts one element: binary increment over the pennant array.
+    pub fn insert(&mut self, value: T) {
+        let mut carry = Pennant::singleton(value);
+        let mut k = 0usize;
+        loop {
+            if k == self.pennants.len() {
+                self.pennants.push(Some(carry));
+                break;
+            }
+            match self.pennants[k].take() {
+                None => {
+                    self.pennants[k] = Some(carry);
+                    break;
+                }
+                Some(existing) => {
+                    carry = existing.union(carry);
+                    k += 1;
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Unions `other` into `self`: binary addition over pennant arrays.
+    pub fn union(&mut self, other: Bag<T>) {
+        let mut carry: Option<Pennant<T>> = None;
+        let other_len = other.len;
+        let max_k = self.pennants.len().max(other.pennants.len()) + 1;
+        let mut other_pennants = other.pennants;
+        other_pennants.resize_with(max_k, || None);
+        if self.pennants.len() < max_k {
+            self.pennants.resize_with(max_k, || None);
+        }
+        for (k, b_slot) in other_pennants.iter_mut().enumerate() {
+            let a = self.pennants[k].take();
+            let b = b_slot.take();
+            // Full adder over pennants.
+            let (sum, new_carry) = match (a, b, carry.take()) {
+                (None, None, None) => (None, None),
+                (Some(x), None, None) | (None, Some(x), None) | (None, None, Some(x)) => {
+                    (Some(x), None)
+                }
+                (Some(x), Some(y), None) | (Some(x), None, Some(y)) | (None, Some(x), Some(y)) => {
+                    (None, Some(x.union(y)))
+                }
+                (Some(x), Some(y), Some(z)) => (Some(z), Some(x.union(y))),
+            };
+            self.pennants[k] = sum;
+            carry = new_carry;
+        }
+        debug_assert!(carry.is_none(), "max_k accounted for the final carry");
+        self.len += other_len;
+    }
+
+    /// Serial visit of every element.
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        for p in self.pennants.iter().flatten() {
+            p.for_each(&mut f);
+        }
+    }
+
+    /// Parallel visit: pennants fork from large to small, and large
+    /// pennants recurse internally (see [`Pennant::for_each_parallel`]).
+    pub fn for_each_parallel<F>(&self, grain: usize, f: &F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        fn go<T: Sync, F: Fn(&T) + Sync>(pennants: &[Option<Pennant<T>>], grain: usize, f: &F) {
+            match pennants.len() {
+                0 => {}
+                1 => {
+                    if let Some(p) = &pennants[0] {
+                        p.for_each_parallel(grain, f);
+                    }
+                }
+                n => {
+                    let (lo, hi) = pennants.split_at(n / 2);
+                    join(|| go(lo, grain, f), || go(hi, grain, f));
+                }
+            }
+        }
+        go(&self.pennants, grain, f);
+    }
+
+    /// Parallel visit with per-grain state — see
+    /// [`Pennant::for_each_parallel_grains`]. Each serial grain of the
+    /// whole-bag traversal receives `init()` state and a final `flush`.
+    pub fn for_each_parallel_grains<S, I, B, FL>(
+        &self,
+        grain: usize,
+        init: &I,
+        body: &B,
+        flush: &FL,
+    ) where
+        T: Sync,
+        I: Fn() -> S + Sync,
+        B: Fn(&mut S, &T) + Sync,
+        FL: Fn(S) + Sync,
+    {
+        fn go<T, S, I, B, FL>(
+            pennants: &[Option<Pennant<T>>],
+            grain: usize,
+            init: &I,
+            body: &B,
+            flush: &FL,
+        ) where
+            T: Sync,
+            I: Fn() -> S + Sync,
+            B: Fn(&mut S, &T) + Sync,
+            FL: Fn(S) + Sync,
+        {
+            match pennants.len() {
+                0 => {}
+                1 => {
+                    if let Some(p) = &pennants[0] {
+                        p.for_each_parallel_grains(grain, init, body, flush);
+                    }
+                }
+                n => {
+                    let (lo, hi) = pennants.split_at(n / 2);
+                    join(
+                        || go(lo, grain, init, body, flush),
+                        || go(hi, grain, init, body, flush),
+                    );
+                }
+            }
+        }
+        go(&self.pennants, grain, init, body, flush);
+    }
+
+    /// Drains into a plain vector (test/diagnostic aid).
+    pub fn into_vec(self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|x| out.push(x.clone()));
+        out
+    }
+}
+
+impl<T> Default for Bag<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bag union as a monoid: the reducer PBFS declares its layers with.
+#[derive(Default)]
+pub struct BagMonoid<T: Send + 'static> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Send + 'static> BagMonoid<T> {
+    /// A bag-union monoid.
+    pub fn new() -> BagMonoid<T> {
+        BagMonoid {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Send + 'static> Monoid for BagMonoid<T> {
+    type View = Bag<T>;
+
+    fn identity(&self) -> Bag<T> {
+        Bag::new()
+    }
+
+    fn reduce(&self, left: &mut Bag<T>, right: Bag<T>) {
+        left.union(right);
+    }
+}
+
+/// Convenience: the vertex bag used by PBFS over a given graph.
+pub type VertexBag = Bag<u32>;
+
+/// Sanity helper for tests: the sum of pennant sizes must equal `len`.
+pub fn check_bag_invariant<T>(bag: &Bag<T>) -> bool {
+    let total: usize = bag
+        .pennants
+        .iter()
+        .enumerate()
+        .map(|(k, p)| if p.is_some() { 1usize << k } else { 0 })
+        .sum();
+    total == bag.len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn collect(bag: &Bag<u32>) -> Vec<u32> {
+        let mut v = Vec::new();
+        bag.for_each(|x| v.push(*x));
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_counts_and_contains_all() {
+        let mut b = Bag::new();
+        for i in 0..100u32 {
+            b.insert(i);
+        }
+        assert_eq!(b.len(), 100);
+        assert!(check_bag_invariant(&b));
+        assert_eq!(collect(&b), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn union_is_element_conserving() {
+        let mut a = Bag::new();
+        let mut b = Bag::new();
+        for i in 0..37u32 {
+            a.insert(i);
+        }
+        for i in 100..159u32 {
+            b.insert(i);
+        }
+        a.union(b);
+        assert_eq!(a.len(), 37 + 59);
+        assert!(check_bag_invariant(&a));
+        let got = collect(&a);
+        let mut expect: Vec<u32> = (0..37).chain(100..159).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let mut a = Bag::new();
+        for i in 0..5u32 {
+            a.insert(i);
+        }
+        a.union(Bag::new());
+        assert_eq!(a.len(), 5);
+        let mut e = Bag::new();
+        for i in 0..5u32 {
+            e.insert(i);
+        }
+        let mut empty = Bag::new();
+        empty.union(e);
+        assert_eq!(empty.len(), 5);
+    }
+
+    #[test]
+    fn pennant_union_split_roundtrip() {
+        let p1 = Pennant::singleton(1u32);
+        let p2 = Pennant::singleton(2u32);
+        let u = p1.union(p2);
+        assert_eq!(u.len(), 2);
+        let (a, b) = u.split();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        let mut seen = Vec::new();
+        a.for_each(&mut |x| seen.push(*x));
+        b.for_each(&mut |x| seen.push(*x));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal sizes")]
+    fn mismatched_pennant_union_panics() {
+        let p1 = Pennant::singleton(1u32);
+        let p2 = Pennant::singleton(2u32).union(Pennant::singleton(3));
+        let _ = p1.union(p2);
+    }
+
+    #[test]
+    fn duplicates_are_kept_multiset() {
+        let mut b = Bag::new();
+        b.insert(7u32);
+        b.insert(7);
+        b.insert(7);
+        assert_eq!(b.len(), 3);
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        b.for_each(|x| *counts.entry(*x).or_default() += 1);
+        assert_eq!(counts[&7], 3);
+    }
+
+    #[test]
+    fn parallel_for_each_visits_exactly_once() {
+        use cilkm_runtime::Pool;
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let mut b = Bag::new();
+        for i in 0..1000u32 {
+            b.insert(i);
+        }
+        let hits: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        let pool = Pool::new(4);
+        pool.run(|| {
+            b.for_each_parallel(32, &|&x| {
+                hits[x as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn monoid_laws_for_bags() {
+        let m = BagMonoid::<u32>::new();
+        let mut v = m.identity();
+        assert!(v.is_empty());
+        let mut a = Bag::new();
+        a.insert(1);
+        m.reduce(&mut v, a);
+        assert_eq!(v.len(), 1);
+    }
+}

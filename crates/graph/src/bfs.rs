@@ -1,0 +1,54 @@
+//! Serial breadth-first search — the correctness oracle and serial
+//! baseline for PBFS.
+
+use crate::csr::Graph;
+use crate::UNREACHED;
+
+/// Computes BFS distances from `source`. Unreached vertices get
+/// [`UNREACHED`].
+pub fn bfs_serial(g: &Graph, source: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_graph_distances() {
+        let g = Graph::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(bfs_serial(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_serial(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_marks_unreached() {
+        let g = Graph::from_undirected_edges(4, &[(0, 1)]);
+        let d = bfs_serial(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn shortest_path_not_first_path() {
+        // 0→1→2→3 and a shortcut 0→3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let d = bfs_serial(&g, 0);
+        assert_eq!(d[3], 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Compressed-sparse-row graphs.
+
+/// A directed graph in CSR form. Vertices are `0..num_vertices()`;
+/// neighbors of `u` are a contiguous slice.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over `n` vertices. Parallel edges
+    /// are kept (they are harmless to BFS and occur in RMAT generators);
+    /// self-loops are kept too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut degree = vec![0u64; n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            degree[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; edges.len()];
+        for &(u, v) in edges {
+            let c = &mut cursor[u as usize];
+            targets[*c as usize] = v;
+            *c += 1;
+        }
+        Graph { offsets, targets }
+    }
+
+    /// Builds an *undirected* graph: every edge is inserted both ways.
+    pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut both = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            both.push((u, v));
+            both.push((v, u));
+        }
+        Graph::from_edges(n, &both)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (arcs).
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: u32) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// The vertex of maximum out-degree (useful as a BFS source).
+    pub fn max_degree_vertex(&self) -> u32 {
+        (0..self.num_vertices() as u32)
+            .max_by_key(|&u| self.degree(u))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_adjacency() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = Graph::from_undirected_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_survive() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1), (1, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+
+    #[test]
+    fn max_degree_vertex_is_found() {
+        let g = Graph::from_edges(3, &[(1, 0), (1, 2), (0, 2)]);
+        assert_eq!(g.max_degree_vertex(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, &[(0, 2)]);
+    }
+}

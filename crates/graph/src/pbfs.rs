@@ -1,0 +1,192 @@
+//! PBFS — the work-efficient parallel breadth-first search of Leiserson &
+//! Schardl (SPAA 2010), the application benchmark of the reducer paper's
+//! §8.
+//!
+//! The algorithm explores the graph layer by layer, alternating between
+//! two bag structures: as it traverses the vertices of the current layer
+//! (in parallel, by walking the bag's pennants fork-join style), it
+//! inserts newly discovered vertices into the *next-layer bag, declared
+//! as a reducer*, so logically parallel branches insert without
+//! determinacy races.
+//!
+//! Two implementation details mirror the original and matter to the
+//! evaluation:
+//!
+//! * **Chunked insertion** — discovered vertices are buffered per grain
+//!   of traversal work and flushed into the bag reducer one batch at a
+//!   time, so the number of reducer *lookups* is proportional to the
+//!   number of chunks, not |V| (which is why Figure 10(b)'s lookup
+//!   counts are thousands, not millions).
+//! * **Atomic discovery** — each vertex's distance is claimed with a
+//!   compare-and-swap. (The original exploits a benign race instead;
+//!   CAS is the Rust-sound equivalent and does not change the lookup or
+//!   reduce behaviour being measured.)
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use cilkm_core::{Reducer, ReducerPool};
+
+use crate::bag::{Bag, BagMonoid};
+use crate::csr::Graph;
+use crate::UNREACHED;
+
+/// Vertices a traversal grain buffers before flushing into the reducer.
+const FLUSH_CHUNK: usize = 128;
+
+/// What a PBFS run reports, beyond the distances themselves.
+pub struct PbfsReport {
+    /// BFS distances from the source ([`UNREACHED`] where unreachable).
+    pub distances: Vec<u32>,
+    /// Number of BFS layers processed (the eccentricity of the source
+    /// plus one) — each layer is one reducer `take` epoch.
+    pub layers: u32,
+    /// Reducer lookups performed during the run (the Figure 10(b)
+    /// "# lookups" column), from the domain's instrumentation.
+    pub lookups: u64,
+}
+
+/// Runs PBFS over `pool`'s reducer backend and returns distances plus the
+/// run report.
+pub fn pbfs(pool: &ReducerPool, g: &Graph, source: u32, grain: usize) -> PbfsReport {
+    let n = g.num_vertices();
+    assert!((source as usize) < n);
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+
+    let next = Reducer::new(pool, BagMonoid::<u32>::new(), Bag::new());
+    let lookups_before = pool.instrument().lookups;
+
+    let layers = pool.run(|| {
+        let mut current = Bag::new();
+        current.insert(source);
+        let mut d = 0u32;
+        while !current.is_empty() {
+            process_layer(g, &current, d, &dist, &next, grain);
+            // Serial point in the region's spine: swap the layer bags —
+            // take the reducer's accumulated bag and reset it to empty.
+            current = next.take();
+            d += 1;
+        }
+        d
+    });
+
+    let lookups = pool.instrument().lookups - lookups_before;
+    let distances = dist.into_iter().map(|a| a.into_inner()).collect();
+    PbfsReport {
+        distances,
+        layers,
+        lookups,
+    }
+}
+
+/// Traverses one layer's bag in parallel, claiming neighbors and
+/// inserting the discovered ones into the next-layer bag reducer.
+fn process_layer(
+    g: &Graph,
+    current: &Bag<u32>,
+    d: u32,
+    dist: &[AtomicU32],
+    next: &Reducer<BagMonoid<u32>>,
+    grain: usize,
+) {
+    // Per-grain buffered insertion: one buffer per serial grain of the
+    // bag traversal, flushed into the reducer in FLUSH_CHUNK batches and
+    // once at grain end.
+    let flush_into_reducer = |buf: Vec<u32>| {
+        if !buf.is_empty() {
+            next.update(|bag| {
+                for w in buf {
+                    bag.insert(w);
+                }
+            });
+        }
+    };
+    current.for_each_parallel_grains(
+        grain,
+        &Vec::new,
+        &|buf: &mut Vec<u32>, &u: &u32| {
+            for &v in g.neighbors(u) {
+                if dist[v as usize]
+                    .compare_exchange(UNREACHED, d + 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    buf.push(v);
+                    if buf.len() >= FLUSH_CHUNK {
+                        flush_into_reducer(std::mem::take(buf));
+                    }
+                }
+            }
+        },
+        &flush_into_reducer,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_serial;
+    use crate::gen;
+    use cilkm_core::Backend;
+
+    fn check_graph(g: &Graph, source: u32) {
+        let expect = bfs_serial(g, source);
+        for backend in [Backend::Hypermap, Backend::Mmap] {
+            let pool = ReducerPool::new(2, backend);
+            let report = pbfs(&pool, g, source, 64);
+            assert_eq!(report.distances, expect, "backend {backend:?}");
+            let ecc = expect
+                .iter()
+                .filter(|&&x| x != UNREACHED)
+                .max()
+                .copied()
+                .unwrap();
+            assert_eq!(report.layers, ecc + 1);
+            assert!(report.lookups > 0);
+        }
+    }
+
+    #[test]
+    fn pbfs_matches_serial_on_line() {
+        let g =
+            Graph::from_undirected_edges(64, &(0..63u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        check_graph(&g, 0);
+    }
+
+    #[test]
+    fn pbfs_matches_serial_on_grid() {
+        let g = gen::grid3d(8);
+        check_graph(&g, 0);
+    }
+
+    #[test]
+    fn pbfs_matches_serial_on_rmat() {
+        let g = gen::rmat(10, 8000, 0.57, 0.19, 0.19, 3);
+        check_graph(&g, 0);
+    }
+
+    #[test]
+    fn pbfs_matches_serial_on_random() {
+        let g = gen::path_threaded_random(3000, 20_000, 30, 5);
+        check_graph(&g, 0);
+    }
+
+    #[test]
+    fn pbfs_handles_disconnected_graphs() {
+        let g = Graph::from_undirected_edges(10, &[(0, 1), (1, 2), (5, 6)]);
+        check_graph(&g, 0);
+    }
+
+    #[test]
+    fn pbfs_lookup_count_is_chunk_scale_not_vertex_scale() {
+        // The Figure 10(b) property: lookups ≪ |V| thanks to chunking.
+        let g = gen::path_threaded_random(20_000, 120_000, 25, 9);
+        let pool = ReducerPool::new(2, Backend::Mmap);
+        let report = pbfs(&pool, &g, 0, 64);
+        assert!(
+            report.lookups < (g.num_vertices() / 4) as u64,
+            "lookups={} |V|={}",
+            report.lookups,
+            g.num_vertices()
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the graph substrate: bags conserve elements under
+//! arbitrary operation sequences, and PBFS agrees with serial BFS on
+//! arbitrary random graphs.
+
+use cilkm_core::{Backend, ReducerPool};
+use cilkm_graph::{bfs_serial, check_bag_invariant, pbfs, Bag, Graph};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum BagOp {
+    Insert(u16),
+    UnionFresh(Vec<u16>),
+}
+
+fn bag_ops() -> impl Strategy<Value = Vec<BagOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => any::<u16>().prop_map(BagOp::Insert),
+            1 => proptest::collection::vec(any::<u16>(), 0..64).prop_map(BagOp::UnionFresh),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A bag is a faithful multiset under inserts and unions.
+    #[test]
+    fn bag_conserves_multiset(ops in bag_ops()) {
+        let mut bag: Bag<u16> = Bag::new();
+        let mut model: BTreeMap<u16, usize> = BTreeMap::new();
+        for op in ops {
+            match op {
+                BagOp::Insert(x) => {
+                    bag.insert(x);
+                    *model.entry(x).or_default() += 1;
+                }
+                BagOp::UnionFresh(xs) => {
+                    let mut other = Bag::new();
+                    for x in &xs {
+                        other.insert(*x);
+                        *model.entry(*x).or_default() += 1;
+                    }
+                    bag.union(other);
+                }
+            }
+            prop_assert!(check_bag_invariant(&bag));
+        }
+        let expected: usize = model.values().sum();
+        prop_assert_eq!(bag.len(), expected);
+        let mut got: BTreeMap<u16, usize> = BTreeMap::new();
+        bag.for_each(|x| *got.entry(*x).or_default() += 1);
+        prop_assert_eq!(got, model);
+    }
+
+    /// PBFS computes exactly the serial BFS distances on random graphs,
+    /// on both backends.
+    #[test]
+    fn pbfs_equals_serial_on_random_graphs(
+        n in 2usize..120,
+        edges in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..400),
+        undirected in any::<bool>(),
+    ) {
+        let list: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| ((a as usize % n) as u32, (b as usize % n) as u32))
+            .collect();
+        let g = if undirected {
+            Graph::from_undirected_edges(n, &list)
+        } else {
+            Graph::from_edges(n, &list)
+        };
+        let expect = bfs_serial(&g, 0);
+        for backend in [Backend::Hypermap, Backend::Mmap] {
+            let pool = ReducerPool::new(2, backend);
+            let got = pbfs(&pool, &g, 0, 8).distances;
+            prop_assert_eq!(&got, &expect, "backend {:?}", backend);
+        }
+    }
+}

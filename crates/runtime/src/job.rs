@@ -1,0 +1,320 @@
+//! Type-erased jobs: the units that travel through deques.
+//!
+//! A job is any struct whose first field is a [`JobHeader`] containing its
+//! execute function; a [`JobRef`] is a single thin pointer to that header,
+//! which is what the Chase–Lev deque stores (one machine word, so slot
+//! accesses can be plain atomics). This is the runtime analogue of the
+//! Cilk frame: a [`StackJob`] is the spawned-child frame a thief may
+//! promote, carrying the result slot, the completion latch, and the
+//! *right placeholder* where the thief deposits its detached views.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::hooks::DetachedViews;
+use crate::latch::{Latch, SpinLatch};
+
+/// First field of every job type: the type-erased execute function.
+#[repr(C)]
+pub struct JobHeader {
+    execute_fn: unsafe fn(*const ()),
+}
+
+impl JobHeader {
+    /// Builds a header around a job's execute function (for job types
+    /// defined outside this module, e.g. scope tasks).
+    pub fn new(execute_fn: unsafe fn(*const ())) -> JobHeader {
+        JobHeader { execute_fn }
+    }
+}
+
+/// A thin, type-erased pointer to a job. The pointee must stay alive
+/// until the job has been executed (stack jobs guarantee this by having
+/// their owner wait on the latch before returning).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct JobRef {
+    ptr: *const JobHeader,
+}
+
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Type-erases a job. `job` must be pinned in memory until executed.
+    ///
+    /// # Safety
+    ///
+    /// `T`'s first field must be a `JobHeader` and `T` must be `repr(C)`.
+    pub unsafe fn new<T>(job: *const T) -> JobRef {
+        JobRef {
+            ptr: job as *const JobHeader,
+        }
+    }
+
+    /// Runs the job through its header function.
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once, and the pointee must still be alive.
+    #[inline]
+    pub unsafe fn execute(self) {
+        ((*self.ptr).execute_fn)(self.ptr as *const ())
+    }
+
+    /// The raw pointer, for storage in the deque.
+    #[inline]
+    pub fn as_raw(self) -> *mut () {
+        self.ptr as *mut ()
+    }
+
+    /// Reconstitutes a `JobRef` from deque storage.
+    ///
+    /// # Safety
+    ///
+    /// `raw` must have come from [`JobRef::as_raw`].
+    #[inline]
+    pub unsafe fn from_raw(raw: *mut ()) -> JobRef {
+        JobRef {
+            ptr: raw as *const JobHeader,
+        }
+    }
+}
+
+/// Result slot of a job: distinguishes "not run", success, and panic.
+pub enum JobResult<R> {
+    /// Not yet executed.
+    None,
+    /// Completed and produced a value.
+    Ok(R),
+    /// Panicked; payload to be resumed by the owner.
+    Panic(Box<dyn Any + Send>),
+}
+
+impl<R> JobResult<R> {
+    /// Unwraps into the value, resuming the panic if the job panicked.
+    ///
+    /// # Panics
+    ///
+    /// Panics (resumes) if the job panicked; panics if the job never ran.
+    pub fn into_return_value(self) -> R {
+        match self {
+            JobResult::None => unreachable!("job never executed"),
+            JobResult::Ok(r) => r,
+            JobResult::Panic(p) => panic::resume_unwind(p),
+        }
+    }
+}
+
+/// The spawned-child frame of a [`join`]: lives on the owner's stack.
+///
+/// The owner pushes a [`JobRef`] to it on its deque. Exactly one of three
+/// things then happens, and the owner's wait loop learns which:
+///
+/// * the owner pops it back and runs it **inline** (serial fast path —
+///   same execution context, no view operations at all, §3);
+/// * a thief (or the owner acting as a thief while leapfrogging) runs it
+///   via [`JobRef::execute`], which gives it a fresh context and ends
+///   with **view transferal** into the frame's deposit slot; or
+/// * the owner's side panicked, and the job is popped and **cancelled**
+///   (closure dropped unrun).
+///
+/// [`join`]: crate::join
+#[repr(C)]
+pub struct StackJob<F, R> {
+    header: JobHeader,
+    /// The completion latch the owner waits on (set only on the foreign
+    /// execution path; inline and cancel paths are known to the owner).
+    pub latch: SpinLatch,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    deposit: UnsafeCell<Option<DetachedViews>>,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    /// Creates a frame around `func`.
+    pub fn new(func: F) -> StackJob<F, R> {
+        StackJob {
+            header: JobHeader {
+                execute_fn: Self::execute_foreign,
+            },
+            latch: SpinLatch::new(),
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+            deposit: UnsafeCell::new(None),
+        }
+    }
+
+    /// The type-erased reference to push on the deque.
+    pub fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self) }
+    }
+
+    /// The foreign execution path: runs the closure in the executing
+    /// worker's (empty) current context, then performs view transferal
+    /// into the deposit slot, then signals the latch. Never unwinds.
+    unsafe fn execute_foreign(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let res = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panic(p),
+        };
+        *this.result.get() = res;
+        // View transferal: detach the views this execution accumulated
+        // and deposit them in the frame's right placeholder. Done even on
+        // panic so the executing worker returns to an empty context.
+        let views = crate::registry::detach_current_views();
+        *this.deposit.get() = Some(views);
+        // Release: result and deposit are published before the flag.
+        this.latch.set();
+    }
+
+    /// The inline path: the owner popped its own job back. Runs in the
+    /// owner's current context; no latch, no deposit.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the owner, after popping this job from its deque.
+    pub unsafe fn run_inline(&self) -> JobResult<R> {
+        let func = (*self.func.get()).take().expect("job executed twice");
+        match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panic(p),
+        }
+    }
+
+    /// The cancel path: the owner's left side panicked before the job was
+    /// stolen; drop the closure unrun.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the owner, after popping this job from its deque.
+    pub unsafe fn cancel(&self) {
+        drop((*self.func.get()).take());
+    }
+
+    /// Takes the result after the latch has been observed set (foreign
+    /// path) or after `run_inline` stored it.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have synchronized with the completion (latch acquire).
+    pub unsafe fn take_result(&self) -> JobResult<R> {
+        std::mem::replace(&mut *self.result.get(), JobResult::None)
+    }
+
+    /// Takes the deposited views (foreign path only).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have synchronized with the completion (latch acquire).
+    pub unsafe fn take_deposit(&self) -> Option<DetachedViews> {
+        (*self.deposit.get()).take()
+    }
+}
+
+// The frame is shared with at most one other thread (the thief), and the
+// protocol (deque + latch) serializes all access.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+/// The injected root task of [`Pool::run`]: executes the user's closure as
+/// the region's root context and then folds the accumulated views into
+/// the reducers' leftmost storage ([`collect_root`]).
+///
+/// [`Pool::run`]: crate::Pool::run
+/// [`collect_root`]: crate::hooks::HyperHooks::collect_root
+#[repr(C)]
+pub struct RootJob<F, R> {
+    header: JobHeader,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    latch: *const crate::latch::LockLatch,
+}
+
+impl<F, R> RootJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    /// Creates a root job; `latch` must outlive the execution (the caller
+    /// of `Pool::run` blocks on it).
+    pub fn new(func: F, latch: &crate::latch::LockLatch) -> RootJob<F, R> {
+        RootJob {
+            header: JobHeader {
+                execute_fn: Self::execute_root,
+            },
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::None),
+            latch,
+        }
+    }
+
+    /// The type-erased reference to inject.
+    pub fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self) }
+    }
+
+    unsafe fn execute_root(ptr: *const ()) {
+        let this = &*(ptr as *const Self);
+        let func = (*this.func.get()).take().expect("root executed twice");
+        let res = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panic(p),
+        };
+        *this.result.get() = res;
+        // Root of the parallel region: views flow to leftmost storage.
+        crate::registry::collect_root_views();
+        (*this.latch).set();
+    }
+
+    /// Takes the result after waiting on the latch.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have waited on the latch.
+    pub unsafe fn take_result(&self) -> JobResult<R> {
+        std::mem::replace(&mut *self.result.get(), JobResult::None)
+    }
+}
+
+unsafe impl<F: Send, R: Send> Sync for RootJob<F, R> {}
+unsafe impl<F: Send, R: Send> Send for RootJob<F, R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_result_ok_unwraps() {
+        assert_eq!(JobResult::Ok(42).into_return_value(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn job_result_panic_resumes() {
+        let r: JobResult<()> = JobResult::Panic(Box::new("boom"));
+        r.into_return_value();
+    }
+
+    #[test]
+    fn job_ref_round_trips_through_raw() {
+        let job: StackJob<_, i32> = StackJob::new(|| 7);
+        let r = job.as_job_ref();
+        let raw = r.as_raw();
+        let back = unsafe { JobRef::from_raw(raw) };
+        assert_eq!(back, r);
+        unsafe { job.cancel() };
+    }
+
+    #[test]
+    fn inline_path_stores_nothing_in_latch() {
+        let job: StackJob<_, i32> = StackJob::new(|| 40 + 2);
+        let res = unsafe { job.run_inline() };
+        assert!(!job.latch.probe());
+        assert_eq!(res.into_return_value(), 42);
+    }
+}

@@ -1,0 +1,120 @@
+//! Divide-and-conquer parallel loops — the `cilk_for` analogue.
+//!
+//! Cilk Plus desugars `cilk_for` into recursive spawn/sync over halves of
+//! the iteration space (§2, footnote 2 of the paper); [`parallel_for`]
+//! does the same with nested [`join`]s, so iteration order within each
+//! grain is the serial order and grains are reduced left-to-right — the
+//! property that keeps non-commutative reducers deterministic.
+
+use std::ops::Range;
+
+use crate::join;
+
+/// Runs `body` over every sub-range of `range`, splitting recursively
+/// until pieces are at most `grain` long.
+///
+/// `body` receives contiguous sub-ranges that partition `range`; within a
+/// sub-range it iterates serially, and the recursion preserves the serial
+/// left-to-right reduction order for reducers.
+///
+/// # Panics
+///
+/// Panics if `grain == 0`.
+pub fn parallel_for<F>(range: Range<usize>, grain: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    assert!(grain > 0, "grain must be at least 1");
+    let len = range.end.saturating_sub(range.start);
+    if len <= grain {
+        if len > 0 {
+            body(range);
+        }
+        return;
+    }
+    let mid = range.start + len / 2;
+    let (left, right) = (range.start..mid, mid..range.end);
+    join(
+        || parallel_for(left, grain, body),
+        || parallel_for(right, grain, body),
+    );
+}
+
+/// Runs `body(i, &items[i])` for every element of `items`, in parallel,
+/// splitting to grains of at most `grain` elements.
+pub fn parallel_for_each<T, F>(items: &[T], grain: usize, body: &F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    parallel_for(0..items.len(), grain, &|r: Range<usize>| {
+        for i in r {
+            body(i, &items[i]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Pool;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|| {
+            parallel_for(0..1000, 16, &|r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let pool = Pool::new(2);
+        let count = AtomicUsize::new(0);
+        pool.run(|| {
+            parallel_for(5..5, 4, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn grain_larger_than_range_runs_serially() {
+        let pool = Pool::new(2);
+        let calls = AtomicUsize::new(0);
+        pool.run(|| {
+            parallel_for(0..10, 100, &|r| {
+                assert_eq!(r, 0..10);
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn for_each_sums_a_slice() {
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (1..=100).collect();
+        let sum = AtomicU64::new(0);
+        pool.run(|| {
+            parallel_for_each(&items, 8, &|_, &x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    #[should_panic(expected = "grain must be")]
+    fn zero_grain_panics() {
+        parallel_for(0..10, 0, &|_| {});
+    }
+}

@@ -1,0 +1,576 @@
+//! The worker registry: pool construction, worker threads, the steal
+//! loop, and the context-suspension discipline around foreign jobs.
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::deque::{deque, DequeOwner, DequeStealer, Steal};
+use crate::hooks::{DetachedViews, HyperHooks, NoopHooks};
+use crate::job::{JobRef, RootJob};
+use crate::latch::{Latch, LockLatch, SpinLatch};
+
+/// Per-worker event counters. All relaxed; read only for reporting.
+#[derive(Default)]
+pub(crate) struct WorkerStats {
+    /// Successful steals committed by this worker (as the thief).
+    pub steals: AtomicU64,
+    /// Steal attempts that found nothing or lost a race.
+    pub failed_steals: AtomicU64,
+    /// Foreign jobs executed (stolen + injected + leapfrogged).
+    pub jobs_executed: AtomicU64,
+    /// Joins whose right branch was popped back and run inline.
+    pub inline_joins: AtomicU64,
+    /// Joins whose right branch was executed by another context.
+    pub stolen_joins: AtomicU64,
+}
+
+/// A snapshot of pool-wide scheduler statistics.
+///
+/// The paper's reduce-overhead experiments (Figs. 7–8) normalize against
+/// the number of *successful steals*, since view transferal and
+/// hypermerge only happen when steals do; this is where that number comes
+/// from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Successful steals across all workers.
+    pub steals: u64,
+    /// Failed steal attempts across all workers.
+    pub failed_steals: u64,
+    /// Foreign jobs executed across all workers.
+    pub jobs_executed: u64,
+    /// Joins resolved on the serial fast path (right branch popped back).
+    pub inline_joins: u64,
+    /// Joins whose right branch ran in a different context.
+    pub stolen_joins: u64,
+}
+
+struct ThreadInfo {
+    stealer: DequeStealer,
+    stats: WorkerStats,
+}
+
+/// Shared pool state.
+pub(crate) struct Registry {
+    hooks: Arc<dyn HyperHooks>,
+    threads: Vec<ThreadInfo>,
+    injector: Mutex<VecDeque<JobRef>>,
+    injected: AtomicUsize,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    sleepers: AtomicUsize,
+    terminate: AtomicBool,
+}
+
+impl Registry {
+    pub(crate) fn hooks_arc(&self) -> Arc<dyn HyperHooks> {
+        Arc::clone(&self.hooks)
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().push_back(job);
+        self.injected.fetch_add(1, Ordering::Release);
+        // Wake everyone: an injection is rare and starts a region.
+        let _guard = self.sleep_mutex.lock();
+        self.sleep_cond.notify_all();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        if self.injected.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut q = self.injector.lock();
+        let job = q.pop_front();
+        if job.is_some() {
+            self.injected.fetch_sub(1, Ordering::Release);
+        }
+        job
+    }
+
+    /// Wakes one sleeping worker if any (called after deque pushes).
+    #[inline]
+    pub(crate) fn signal_work(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.sleep_mutex.lock();
+            self.sleep_cond.notify_one();
+        }
+    }
+
+    fn stats(&self) -> PoolStats {
+        let mut s = PoolStats::default();
+        for t in &self.threads {
+            s.steals += t.stats.steals.load(Ordering::Relaxed);
+            s.failed_steals += t.stats.failed_steals.load(Ordering::Relaxed);
+            s.jobs_executed += t.stats.jobs_executed.load(Ordering::Relaxed);
+            s.inline_joins += t.stats.inline_joins.load(Ordering::Relaxed);
+            s.stolen_joins += t.stats.stolen_joins.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+thread_local! {
+    static CURRENT_WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+/// The thread-local owner side of one worker.
+pub(crate) struct WorkerThread {
+    registry: Arc<Registry>,
+    index: usize,
+    deque: DequeOwner,
+    /// xorshift state for random victim selection.
+    rng: Cell<u64>,
+    /// Per-worker hyperobject backend state; only this thread touches it.
+    state: UnsafeCell<Box<dyn Any + Send>>,
+}
+
+impl WorkerThread {
+    /// The worker currently running on this thread, if any.
+    #[inline]
+    pub(crate) fn current() -> Option<&'static WorkerThread> {
+        let ptr = CURRENT_WORKER.with(|c| c.get());
+        if ptr.is_null() {
+            None
+        } else {
+            // The pointer is installed for the lifetime of the worker's
+            // main loop and cleared before the WorkerThread is dropped.
+            Some(unsafe { &*ptr })
+        }
+    }
+
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    #[inline]
+    fn stats(&self) -> &WorkerStats {
+        &self.registry.threads[self.index].stats
+    }
+
+    pub(crate) fn note_inline_join(&self) {
+        self.stats().inline_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stolen_join(&self) {
+        self.stats().stolen_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn push(&self, job: JobRef) {
+        self.deque.push(job.as_raw());
+        self.registry.signal_work();
+    }
+
+    #[inline]
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.deque.pop().map(|raw| unsafe { JobRef::from_raw(raw) })
+    }
+
+    /// Calls `f` with the worker's mutable hyperobject state.
+    #[inline]
+    pub(crate) fn with_state<R>(&self, f: impl FnOnce(&mut dyn Any) -> R) -> R {
+        // Sound: state is only ever touched from this worker's own
+        // thread, and never reentrantly (hooks do not call back into the
+        // scheduler).
+        let state = unsafe { &mut *self.state.get() };
+        f(state.as_mut())
+    }
+
+    #[inline]
+    fn next_rand(&self) -> u64 {
+        // xorshift64*; cheap and good enough for victim selection.
+        let mut x = self.rng.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// One random steal sweep over all other workers, then the injector.
+    fn try_steal(&self) -> Option<JobRef> {
+        let n = self.registry.threads.len();
+        if n > 1 {
+            let start = (self.next_rand() as usize) % n;
+            for i in 0..n {
+                let victim = (start + i) % n;
+                if victim == self.index {
+                    continue;
+                }
+                loop {
+                    match self.registry.threads[victim].stealer.steal() {
+                        Steal::Success(raw) => {
+                            self.stats().steals.fetch_add(1, Ordering::Relaxed);
+                            return Some(unsafe { JobRef::from_raw(raw) });
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
+                    }
+                }
+            }
+        }
+        if let Some(job) = self.registry.pop_injected() {
+            return Some(job);
+        }
+        self.stats().failed_steals.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Executes a foreign job from an *empty* current context (top-level
+    /// steal loop). The job itself ends in a detach, restoring emptiness.
+    #[inline]
+    fn execute_idle(&self, job: JobRef) {
+        self.stats().jobs_executed.fetch_add(1, Ordering::Relaxed);
+        unsafe { job.execute() };
+    }
+
+    /// Executes a foreign job while this worker's current context is
+    /// *suspended* (waiting at a join): the current views are detached
+    /// around the execution and re-attached after — the leapfrogging
+    /// discipline that keeps views affixed to contexts, not workers.
+    pub(crate) fn execute_suspended(&self, job: JobRef) {
+        let hooks = self.registry.hooks.clone();
+        let saved = self.with_state(|s| hooks.suspend(s));
+        self.stats().jobs_executed.fetch_add(1, Ordering::Relaxed);
+        unsafe { job.execute() };
+        self.with_state(|s| hooks.resume(s, saved));
+    }
+
+    /// The waiting discipline at a join: keep useful until `latch` fires.
+    /// Returns jobs popped from our own deque that are *not* `my_job` to
+    /// the foreign path; returns `Some(true)` if we popped `my_job`
+    /// ourselves (caller runs it inline / cancels it), `Some(false)` when
+    /// the latch fired.
+    pub(crate) fn wait_for_latch(&self, latch: &SpinLatch, my_job: JobRef) -> bool {
+        let mut idle_spins = 0u32;
+        loop {
+            if latch.probe() {
+                return false;
+            }
+            if let Some(job) = self.pop() {
+                if job == my_job {
+                    return true;
+                }
+                self.execute_suspended(job);
+                idle_spins = 0;
+                continue;
+            }
+            if let Some(job) = self.try_steal() {
+                self.execute_suspended(job);
+                idle_spins = 0;
+                continue;
+            }
+            // Nothing to do but wait; be polite on oversubscribed hosts.
+            idle_spins += 1;
+            if idle_spins < 8 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// The waiting discipline at a scope close: keep useful until the
+    /// scope's completion latch fires. Unlike a join wait there is no
+    /// owned job to run inline — every job (including our own scope
+    /// spawns, popped back LIFO) runs through the foreign path with the
+    /// current context suspended around it.
+    pub(crate) fn wait_for_scope(&self, latch: &SpinLatch) {
+        let mut idle_spins = 0u32;
+        loop {
+            if latch.probe() {
+                return;
+            }
+            if let Some(job) = self.pop() {
+                self.execute_suspended(job);
+                idle_spins = 0;
+                continue;
+            }
+            if let Some(job) = self.try_steal() {
+                self.execute_suspended(job);
+                idle_spins = 0;
+                continue;
+            }
+            idle_spins += 1;
+            if idle_spins < 8 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// The top-level scheduling loop.
+    fn main_loop(&self) {
+        loop {
+            if self.registry.terminate.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(job) = self.pop() {
+                // Only possible transiently (a panic unwound past pushed
+                // jobs); treat like any foreign job.
+                self.execute_idle(job);
+                continue;
+            }
+            if let Some(job) = self.try_steal() {
+                self.execute_idle(job);
+                continue;
+            }
+            // Sleep until signalled (or timeout, to re-poll terminate).
+            self.registry.sleepers.fetch_add(1, Ordering::SeqCst);
+            {
+                let mut guard = self.registry.sleep_mutex.lock();
+                // Re-check under the lock to avoid missed wakeups.
+                if !self.registry.terminate.load(Ordering::Acquire)
+                    && self.registry.injected.load(Ordering::Acquire) == 0
+                {
+                    self.registry
+                        .sleep_cond
+                        .wait_for(&mut guard, Duration::from_millis(1));
+                }
+            }
+            self.registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// View transferal out of the current worker's context (called by job
+/// completion paths in `job.rs`).
+pub(crate) fn detach_current_views() -> DetachedViews {
+    let worker = WorkerThread::current().expect("detach outside worker");
+    let hooks = worker.registry.hooks.clone();
+    worker.with_state(|s| hooks.detach(s))
+}
+
+/// Folds the current worker's views into leftmost storage (root task end).
+pub(crate) fn collect_root_views() {
+    let worker = WorkerThread::current().expect("collect_root outside worker");
+    let hooks = worker.registry.hooks.clone();
+    worker.with_state(|s| hooks.collect_root(s));
+}
+
+/// Index of the worker running the current thread, if it is a pool worker.
+pub fn current_worker_index() -> Option<usize> {
+    WorkerThread::current().map(|w| w.index())
+}
+
+/// Configures and builds a [`Pool`].
+pub struct PoolBuilder {
+    num_threads: usize,
+    hooks: Arc<dyn HyperHooks>,
+    stack_size: usize,
+}
+
+impl PoolBuilder {
+    /// Starts a builder with `num_threads` workers and no-op hooks.
+    pub fn new(num_threads: usize) -> PoolBuilder {
+        assert!(num_threads >= 1, "a pool needs at least one worker");
+        PoolBuilder {
+            num_threads,
+            hooks: Arc::new(NoopHooks),
+            stack_size: 8 << 20,
+        }
+    }
+
+    /// Installs hyperobject hooks (the reducer backend).
+    pub fn hooks(mut self, hooks: Arc<dyn HyperHooks>) -> PoolBuilder {
+        self.hooks = hooks;
+        self
+    }
+
+    /// Sets worker stack size in bytes (default 8 MiB; fork-join recursion
+    /// can be deep on oversubscribed machines).
+    pub fn stack_size(mut self, bytes: usize) -> PoolBuilder {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Spawns the workers and returns the pool.
+    pub fn build(self) -> Pool {
+        let mut owners = Vec::with_capacity(self.num_threads);
+        let mut infos = Vec::with_capacity(self.num_threads);
+        for _ in 0..self.num_threads {
+            let (owner, stealer) = deque();
+            owners.push(owner);
+            infos.push(ThreadInfo {
+                stealer,
+                stats: WorkerStats::default(),
+            });
+        }
+        let registry = Arc::new(Registry {
+            hooks: self.hooks,
+            threads: infos,
+            injector: Mutex::new(VecDeque::new()),
+            injected: AtomicUsize::new(0),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            terminate: AtomicBool::new(false),
+        });
+
+        let mut handles = Vec::with_capacity(self.num_threads);
+        for (index, owner) in owners.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            let handle = std::thread::Builder::new()
+                .name(format!("cilkm-worker-{index}"))
+                .stack_size(self.stack_size)
+                .spawn(move || {
+                    // Worker state is created on the worker's own thread so
+                    // backends can set up thread-local fast paths.
+                    let state = registry.hooks.make_worker_state(index);
+                    let worker = WorkerThread {
+                        registry,
+                        index,
+                        deque: owner,
+                        rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ (index as u64 + 1)),
+                        state: UnsafeCell::new(state),
+                    };
+                    CURRENT_WORKER.with(|c| c.set(&worker));
+                    worker.main_loop();
+                    CURRENT_WORKER.with(|c| c.set(std::ptr::null()));
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+
+        Pool {
+            registry,
+            handles: Some(handles),
+            region_lock: Mutex::new(()),
+        }
+    }
+}
+
+/// A work-stealing thread pool with hyperobject hooks — the analogue of
+/// one Cilk-M (or Cilk Plus) runtime instance.
+///
+/// Construct with [`Pool::new`] or [`PoolBuilder`]; enter a parallel
+/// region with [`Pool::run`]; fork inside it with [`crate::join`].
+pub struct Pool {
+    registry: Arc<Registry>,
+    handles: Option<Vec<std::thread::JoinHandle<()>>>,
+    /// Serializes parallel regions: reducer leftmost storage is folded at
+    /// region end, so two regions of one pool must never overlap.
+    region_lock: Mutex<()>,
+}
+
+impl Pool {
+    /// A pool with `num_threads` workers and no hyperobject hooks.
+    pub fn new(num_threads: usize) -> Pool {
+        PoolBuilder::new(num_threads).build()
+    }
+
+    /// Number of workers.
+    pub fn num_threads(&self) -> usize {
+        self.registry.threads.len()
+    }
+
+    /// Runs `f` as the root of a parallel region and returns its result.
+    ///
+    /// Blocks the calling thread (which must not itself be a pool worker)
+    /// until the region completes. On completion, all views accumulated
+    /// by the region's root context are folded into their reducers'
+    /// leftmost storage, so reducer final values are observable after
+    /// `run` returns. Panics inside the region propagate.
+    ///
+    /// At most one region runs at a time per pool: concurrent `run`
+    /// calls serialize (region end folds into shared reducer leftmost
+    /// storage, so overlapping regions of one pool would race).
+    pub fn run<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        assert!(
+            WorkerThread::current().is_none(),
+            "Pool::run called from inside a worker; use join() to fork instead"
+        );
+        let _region = self.region_lock.lock();
+        let latch = LockLatch::new();
+        let job = RootJob::new(f, &latch);
+        self.registry.inject(job.as_job_ref());
+        latch.wait();
+        unsafe { job.take_result() }.into_return_value()
+    }
+
+    /// Scheduler statistics accumulated since pool construction.
+    pub fn stats(&self) -> PoolStats {
+        self.registry.stats()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::Release);
+        {
+            let _guard = self.registry.sleep_mutex.lock();
+            self.registry.sleep_cond.notify_all();
+        }
+        if let Some(handles) = self.handles.take() {
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_a_closure_on_a_worker() {
+        let pool = Pool::new(2);
+        let idx = pool.run(current_worker_index);
+        assert!(idx.is_some());
+        assert!(idx.unwrap() < 2);
+    }
+
+    #[test]
+    fn pool_returns_value_and_stats_start_clean() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.run(|| 6 * 7), 42);
+        assert_eq!(pool.num_threads(), 1);
+    }
+
+    #[test]
+    fn sequential_runs_reuse_workers() {
+        let pool = Pool::new(2);
+        for i in 0..20 {
+            assert_eq!(pool.run(move || i * 2), i * 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root boom")]
+    fn root_panic_propagates() {
+        let pool = Pool::new(2);
+        pool.run(|| panic!("root boom"));
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_region() {
+        let pool = Pool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|| panic!("first"));
+        }));
+        assert!(caught.is_err());
+        assert_eq!(pool.run(|| 5), 5);
+    }
+
+    #[test]
+    fn drop_terminates_workers() {
+        let pool = Pool::new(4);
+        pool.run(|| ());
+        drop(pool); // must not hang
+    }
+}

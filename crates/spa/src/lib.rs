@@ -1,0 +1,236 @@
+//! # cilkm-spa — sparse accumulators and the Cilk-M SPA map
+//!
+//! The sparse accumulator (SPA) of Gilbert, Moler, and Schreiber (*Sparse
+//! matrices in MATLAB*, SIAM J. Matrix Anal. Appl. 1992) is the data
+//! structure Cilk-M uses to organize a worker's reducer views (SPAA 2012
+//! §6). A SPA is a dense array of values plus an unordered *log* of the
+//! indices of the occupied elements and a count; it supports
+//!
+//! * constant-time random access to an element, and
+//! * sequencing through the occupied elements in time linear in their
+//!   number (by walking the log), including resetting the structure to
+//!   empty as it goes.
+//!
+//! This crate provides two forms:
+//!
+//! * [`Spa<T>`] — a safe, generic, textbook SPA (used directly by example
+//!   programs and as an executable specification for the property tests);
+//! * [`map`] — the **SPA map**, the exact page-granular layout Cilk-M
+//!   stores in a worker's TLMM region: a 4096-byte page holding a view
+//!   array of 248 (view pointer, monoid pointer) pairs, a 120-entry log of
+//!   1-byte indices, and two 4-byte counts, with the paper's 2:1
+//!   view-to-log ratio and log-overflow fallback.
+
+#![deny(missing_docs)]
+
+pub mod map;
+
+pub use map::{
+    InsertOutcome, SpaMapBox, SpaMapLayout, SpaMapRef, ViewPair, LOG_CAPACITY, VIEWS_PER_MAP,
+};
+
+/// A generic sparse accumulator over values of type `T`.
+///
+/// Occupancy is tracked explicitly (the "third array" variant of the
+/// classic SPA, footnote 5 of the paper), so any `T` works — there is no
+/// reserved "zero" value. The log may contain duplicate indices if an
+/// element is cleared and re-set; all iteration paths tolerate this, and
+/// [`Spa::drain`] resets the structure exactly once per occupied element.
+#[derive(Clone, Debug)]
+pub struct Spa<T> {
+    values: Vec<Option<T>>,
+    log: Vec<u32>,
+    occupied: usize,
+}
+
+impl<T> Spa<T> {
+    /// Creates an empty SPA with `n` addressable elements.
+    pub fn new(n: usize) -> Self {
+        let mut values = Vec::new();
+        values.resize_with(n, || None);
+        Spa {
+            values,
+            log: Vec::new(),
+            occupied: 0,
+        }
+    }
+
+    /// Number of addressable elements.
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of currently occupied elements.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Returns `true` if no element is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Constant-time read of element `i`.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.values.get(i).and_then(|v| v.as_ref())
+    }
+
+    /// Constant-time mutable read of element `i`.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        self.values.get_mut(i).and_then(|v| v.as_mut())
+    }
+
+    /// Sets element `i`, logging it if it was previously empty.
+    ///
+    /// Returns the previous value if the element was occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity()`.
+    pub fn set(&mut self, i: usize, value: T) -> Option<T> {
+        let slot = &mut self.values[i];
+        let prev = slot.replace(value);
+        if prev.is_none() {
+            self.log.push(i as u32);
+            self.occupied += 1;
+        }
+        prev
+    }
+
+    /// Accumulates into element `i`: if empty, installs `seed()`; then
+    /// applies `f` to the element. This is the SPA's original use —
+    /// accumulating sparse contributions where each `f` adds one.
+    pub fn accumulate(&mut self, i: usize, seed: impl FnOnce() -> T, f: impl FnOnce(&mut T)) {
+        if self.values[i].is_none() {
+            self.set(i, seed());
+        }
+        f(self.values[i].as_mut().expect("just seeded"));
+    }
+
+    /// Clears element `i`, returning its value if it was occupied.
+    ///
+    /// The log is *not* compacted (that would break linear-time clearing);
+    /// a stale log entry is simply skipped by later sequencing.
+    pub fn clear(&mut self, i: usize) -> Option<T> {
+        let prev = self.values.get_mut(i).and_then(|v| v.take());
+        if prev.is_some() {
+            self.occupied -= 1;
+        }
+        prev
+    }
+
+    /// Sequences through the occupied elements in log order, yielding
+    /// `(index, &value)`. Time is linear in the log length. Duplicate log
+    /// entries yield duplicate visits only if the element is still
+    /// occupied; callers needing exactly-once semantics use [`Spa::drain`].
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        let mut seen = vec![false; self.values.len()];
+        self.log.iter().filter_map(move |&i| {
+            let i = i as usize;
+            if seen[i] {
+                return None;
+            }
+            seen[i] = true;
+            self.values[i].as_ref().map(|v| (i, v))
+        })
+    }
+
+    /// Drains the SPA: yields every occupied `(index, value)` exactly once
+    /// and leaves the SPA empty, in time linear in the log length.
+    pub fn drain(&mut self) -> Vec<(usize, T)> {
+        let mut out = Vec::with_capacity(self.occupied);
+        let log = std::mem::take(&mut self.log);
+        for i in log {
+            if let Some(v) = self.values[i as usize].take() {
+                out.push((i as usize, v));
+            }
+        }
+        self.occupied = 0;
+        out
+    }
+
+    /// Current log length (may exceed `len()` due to stale entries).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut spa = Spa::new(10);
+        assert!(spa.is_empty());
+        assert_eq!(spa.set(3, "a"), None);
+        assert_eq!(spa.set(3, "b"), Some("a"));
+        assert_eq!(spa.len(), 1);
+        assert_eq!(spa.get(3), Some(&"b"));
+        assert_eq!(spa.clear(3), Some("b"));
+        assert_eq!(spa.clear(3), None);
+        assert!(spa.is_empty());
+    }
+
+    #[test]
+    fn accumulate_seeds_once() {
+        let mut spa = Spa::new(4);
+        spa.accumulate(2, || 100, |v| *v += 1);
+        spa.accumulate(2, || 100, |v| *v += 1);
+        assert_eq!(spa.get(2), Some(&102));
+        assert_eq!(spa.len(), 1);
+    }
+
+    #[test]
+    fn drain_yields_each_occupied_once_despite_stale_logs() {
+        let mut spa = Spa::new(8);
+        spa.set(1, 10);
+        spa.set(2, 20);
+        spa.clear(1);
+        spa.set(1, 11); // log now holds 1 twice
+        assert!(spa.log_len() >= 3);
+        let mut drained = spa.drain();
+        drained.sort();
+        assert_eq!(drained, vec![(1, 11), (2, 20)]);
+        assert!(spa.is_empty());
+        assert_eq!(spa.log_len(), 0);
+    }
+
+    #[test]
+    fn iter_skips_cleared_and_dedupes() {
+        let mut spa = Spa::new(8);
+        spa.set(5, 'x');
+        spa.set(6, 'y');
+        spa.clear(5);
+        spa.set(5, 'z'); // duplicate log entry for 5
+        let mut seen: Vec<_> = spa.iter().collect();
+        seen.sort();
+        assert_eq!(seen, vec![(5, &'z'), (6, &'y')]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_out_of_range_panics() {
+        let mut spa = Spa::new(2);
+        spa.set(2, 0u8);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let spa: Spa<u8> = Spa::new(2);
+        assert_eq!(spa.get(99), None);
+    }
+
+    #[test]
+    fn sparse_vector_accumulation_use_case() {
+        // The classic SPA use: accumulate sparse contributions per index.
+        let contributions = [(3usize, 1.0f64), (7, 2.0), (3, 4.0), (0, 8.0)];
+        let mut spa = Spa::new(10);
+        for &(i, x) in &contributions {
+            spa.accumulate(i, || 0.0, |v| *v += x);
+        }
+        let mut got = spa.drain();
+        got.sort_by_key(|a| a.0);
+        assert_eq!(got, vec![(0, 8.0), (3, 5.0), (7, 2.0)]);
+    }
+}

@@ -1,0 +1,527 @@
+//! The page-granular **SPA map** of SPAA 2012 §6.
+//!
+//! A SPA map is allocated on a per-page basis (4096 bytes on x86-64) and
+//! holds, in this exact order:
+//!
+//! * a **view array** of 248 elements, each a pair of 8-byte pointers to a
+//!   local view and its monoid (16 bytes per element, 3968 bytes total);
+//! * a **log array** of 120 bytes containing 1-byte indices of the valid
+//!   elements of the view array;
+//! * the 4-byte **number of valid elements** in the view array; and
+//! * the 4-byte **number of logs** in the log array.
+//!
+//! Invariant (§6): an empty element is represented by a pair of null
+//! pointers. The view-to-log ratio is deliberately about 2:1; once the
+//! number of insertions exceeds the log capacity the map *stops keeping
+//! track of logs* and sequencing falls back to scanning the whole view
+//! array, whose cost is amortized against the many insertions that caused
+//! the overflow.
+//!
+//! The same layout is used in two places:
+//!
+//! * **private SPA maps** living inside TLMM pages (one worker's current
+//!   views, reachable by virtual-address translation), and
+//! * **public SPA maps** in shared heap memory (view transferal targets,
+//!   §7), represented here by the owning [`SpaMapBox`].
+//!
+//! Because private maps live in raw page memory, the accessor type
+//! [`SpaMapRef`] operates over a raw pointer; all its methods are safe to
+//! *call* but construction ([`SpaMapRef::from_raw`]) is unsafe and pins
+//! the aliasing contract on the caller, exactly as the Cilk-M runtime pins
+//! it on its scheduling discipline.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+
+/// Number of view-array elements per SPA map (248 × 16 B = 3968 B).
+pub const VIEWS_PER_MAP: usize = 248;
+/// Number of 1-byte log entries per SPA map.
+pub const LOG_CAPACITY: usize = 120;
+/// Size of the whole map: exactly one page.
+pub const MAP_SIZE: usize = 4096;
+
+/// Sentinel stored in `nlog` after the log overflows.
+const LOG_OVERFLOWED: u32 = u32::MAX;
+
+/// One view-array element: pointers to a local view and to its monoid.
+///
+/// Both pointers are type-erased; the reducer layer above knows how to
+/// interpret them (the monoid pointer leads to a vtable that can reduce
+/// and destroy the view). An empty element is `(null, null)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(C)]
+pub struct ViewPair {
+    /// Pointer to the local view object (null when empty).
+    pub view: *mut u8,
+    /// Pointer to the monoid implementation (null when empty).
+    pub monoid: *const u8,
+}
+
+impl ViewPair {
+    /// The empty element: a pair of null pointers.
+    pub const NULL: ViewPair = ViewPair {
+        view: std::ptr::null_mut(),
+        monoid: std::ptr::null(),
+    };
+
+    /// Returns `true` if this element is empty.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.view.is_null()
+    }
+}
+
+/// The in-memory layout of one SPA map. `repr(C)` and statically asserted
+/// to be exactly one page.
+#[repr(C)]
+pub struct SpaMapLayout {
+    views: [ViewPair; VIEWS_PER_MAP],
+    log: [u8; LOG_CAPACITY],
+    nvalid: u32,
+    nlog: u32,
+}
+
+const _: () = assert!(std::mem::size_of::<SpaMapLayout>() == MAP_SIZE);
+const _: () = assert!(std::mem::align_of::<SpaMapLayout>() <= MAP_SIZE);
+
+/// Result of inserting into a SPA map: whether the index was logged.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The index was recorded in the log array.
+    Logged,
+    /// The log array is full; the map is now in scan-everything mode.
+    Overflowed,
+}
+
+/// An unsafe-to-construct, safe-to-use accessor over a SPA map in raw
+/// memory (a TLMM page or a [`SpaMapBox`] allocation).
+#[derive(Copy, Clone)]
+pub struct SpaMapRef {
+    ptr: *mut SpaMapLayout,
+}
+
+impl SpaMapRef {
+    /// Wraps a raw pointer to page-sized, properly initialized memory.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to [`MAP_SIZE`] bytes, aligned for
+    /// [`SpaMapLayout`], that remain valid for the life of the `SpaMapRef`
+    /// and all its copies, and that start out all-zero (an all-zero page
+    /// *is* a valid empty SPA map — that is why freshly `palloc`ed and
+    /// recycled pages can be used directly, §7). The caller must guarantee
+    /// that no two threads access the map concurrently.
+    #[inline]
+    pub unsafe fn from_raw(ptr: *mut u8) -> SpaMapRef {
+        debug_assert!(!ptr.is_null());
+        debug_assert_eq!(ptr as usize % std::mem::align_of::<SpaMapLayout>(), 0);
+        SpaMapRef {
+            ptr: ptr as *mut SpaMapLayout,
+        }
+    }
+
+    /// Raw field accessors: every read/write goes through a fresh,
+    /// immediately-dropped place expression, so no reference is ever
+    /// live across a user callback (which may itself hold a `SpaMapRef`
+    /// copy to this or another map).
+    #[inline]
+    fn nvalid_raw(&self) -> u32 {
+        unsafe { (*self.ptr).nvalid }
+    }
+
+    #[inline]
+    fn set_nvalid_raw(&self, v: u32) {
+        unsafe { (*self.ptr).nvalid = v }
+    }
+
+    #[inline]
+    fn nlog_raw(&self) -> u32 {
+        unsafe { (*self.ptr).nlog }
+    }
+
+    #[inline]
+    fn set_nlog_raw(&self, v: u32) {
+        unsafe { (*self.ptr).nlog = v }
+    }
+
+    #[inline]
+    fn view_raw(&self, idx: usize) -> ViewPair {
+        debug_assert!(idx < VIEWS_PER_MAP);
+        unsafe { (&(*self.ptr).views)[idx] }
+    }
+
+    #[inline]
+    fn set_view_raw(&self, idx: usize, pair: ViewPair) {
+        unsafe { (&mut (*self.ptr).views)[idx] = pair }
+    }
+
+    #[inline]
+    fn log_raw(&self, i: usize) -> u8 {
+        unsafe { (&(*self.ptr).log)[i] }
+    }
+
+    #[inline]
+    fn set_log_raw(&self, i: usize, v: u8) {
+        unsafe { (&mut (*self.ptr).log)[i] = v }
+    }
+
+    /// Number of valid (non-null) elements.
+    #[inline]
+    pub fn nvalid(&self) -> usize {
+        self.nvalid_raw() as usize
+    }
+
+    /// Returns `true` if the map holds no views.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nvalid_raw() == 0
+    }
+
+    /// Returns `true` if the log has overflowed (scan-everything mode).
+    #[inline]
+    pub fn log_overflowed(&self) -> bool {
+        self.nlog_raw() == LOG_OVERFLOWED
+    }
+
+    /// Number of live log entries (0 after overflow; see
+    /// [`SpaMapRef::log_overflowed`]).
+    #[inline]
+    pub fn nlog(&self) -> usize {
+        let n = self.nlog_raw();
+        if n == LOG_OVERFLOWED {
+            0
+        } else {
+            n as usize
+        }
+    }
+
+    /// Constant-time read of element `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> ViewPair {
+        self.view_raw(idx)
+    }
+
+    /// Raw pointer to element `idx` — the address a reducer's `tlmm_addr`
+    /// designates. The memory-mapped lookup fast path reads `(*ptr).view`
+    /// directly: one load to fetch this address from the reducer object,
+    /// one load through it, one predictable null check.
+    #[inline]
+    pub fn slot_ptr(&self, idx: usize) -> *mut ViewPair {
+        debug_assert!(idx < VIEWS_PER_MAP);
+        unsafe { (*self.ptr).views.as_mut_ptr().add(idx) }
+    }
+
+    /// Inserts a pair at `idx` (which must currently be empty), logging
+    /// the index if the log still has room.
+    pub fn insert(&self, idx: usize, pair: ViewPair) -> InsertOutcome {
+        debug_assert!(!pair.is_null(), "inserting a null pair");
+        debug_assert!(
+            self.view_raw(idx).is_null(),
+            "insert over occupied SPA slot {idx}"
+        );
+        self.set_view_raw(idx, pair);
+        self.set_nvalid_raw(self.nvalid_raw() + 1);
+        let nlog = self.nlog_raw();
+        if nlog == LOG_OVERFLOWED {
+            return InsertOutcome::Overflowed;
+        }
+        if (nlog as usize) < LOG_CAPACITY {
+            self.set_log_raw(nlog as usize, idx as u8);
+            self.set_nlog_raw(nlog + 1);
+            InsertOutcome::Logged
+        } else {
+            // The paper: once the number of logs exceeds the log array
+            // length, stop keeping track of logs; the cost of scanning the
+            // whole view array amortizes against these insertions.
+            self.set_nlog_raw(LOG_OVERFLOWED);
+            InsertOutcome::Overflowed
+        }
+    }
+
+    /// Removes the pair at `idx`, returning it. The slot becomes empty;
+    /// the log is left as-is (stale entries are skipped by sequencing).
+    pub fn remove(&self, idx: usize) -> ViewPair {
+        let pair = self.view_raw(idx);
+        debug_assert!(!pair.is_null(), "remove of empty SPA slot {idx}");
+        self.set_view_raw(idx, ViewPair::NULL);
+        self.set_nvalid_raw(self.nvalid_raw() - 1);
+        pair
+    }
+
+    /// Sequences through the valid elements without modifying the map.
+    ///
+    /// Walks the log (deduplicating stale/duplicate entries with a 248-bit
+    /// mask) or, after overflow, scans the entire view array. Linear time
+    /// in `max(nlog, overflow ? 248 : 0)`.
+    pub fn for_each_valid(&self, mut f: impl FnMut(usize, ViewPair)) {
+        if self.nvalid_raw() == 0 {
+            return;
+        }
+        if self.nlog_raw() == LOG_OVERFLOWED {
+            for idx in 0..VIEWS_PER_MAP {
+                let pair = self.view_raw(idx);
+                if !pair.is_null() {
+                    f(idx, pair);
+                }
+            }
+        } else {
+            let mut seen = [0u64; 4];
+            for i in 0..self.nlog_raw() as usize {
+                let idx = self.log_raw(i) as usize;
+                let (w, b) = (idx / 64, idx % 64);
+                if seen[w] & (1 << b) != 0 {
+                    continue;
+                }
+                seen[w] |= 1 << b;
+                let pair = self.view_raw(idx);
+                if !pair.is_null() {
+                    f(idx, pair);
+                }
+            }
+        }
+    }
+
+    /// Sequences through the valid elements, zeroing each as it goes, and
+    /// resets the counts: the map is empty afterwards. This is the
+    /// primitive behind both **view transferal** (private → public copy
+    /// that simultaneously zeros the private map, §7) and the hypermerge
+    /// sweep over the smaller view set.
+    pub fn drain(&self, mut f: impl FnMut(usize, ViewPair)) {
+        if self.nvalid_raw() != 0 {
+            if self.nlog_raw() == LOG_OVERFLOWED {
+                for idx in 0..VIEWS_PER_MAP {
+                    let pair = self.view_raw(idx);
+                    if !pair.is_null() {
+                        self.set_view_raw(idx, ViewPair::NULL);
+                        f(idx, pair);
+                    }
+                }
+            } else {
+                for i in 0..self.nlog_raw() as usize {
+                    let idx = self.log_raw(i) as usize;
+                    let pair = self.view_raw(idx);
+                    if !pair.is_null() {
+                        self.set_view_raw(idx, ViewPair::NULL);
+                        f(idx, pair);
+                    }
+                }
+            }
+        }
+        // Footnote 6: only the number of logs and the view array must
+        // contain zeros for the map to be recyclable.
+        self.set_nvalid_raw(0);
+        self.set_nlog_raw(0);
+    }
+
+    /// Resets the map to empty without visiting elements (test helper).
+    pub fn clear_all(&self) {
+        self.drain(|_, _| {});
+    }
+
+    /// Forces the map into log-overflow (scan-everything) mode. Used by
+    /// the SPA ablation bench and by tests of the fallback path.
+    pub fn force_log_overflow(&self) {
+        self.set_nlog_raw(LOG_OVERFLOWED);
+    }
+}
+
+// The raw pointer is a capability handed around under the runtime's
+// protocol; the data it points at is plain memory.
+unsafe impl Send for SpaMapRef {}
+
+/// An owned, heap-allocated SPA map in shared memory — a **public SPA
+/// map** in the paper's terms (§7). Page-aligned and zero-initialized, so
+/// it is born empty and recyclable.
+pub struct SpaMapBox {
+    ptr: *mut u8,
+}
+
+impl SpaMapBox {
+    /// Allocates a fresh empty map.
+    pub fn new() -> SpaMapBox {
+        let layout = Layout::from_size_align(MAP_SIZE, MAP_SIZE).expect("static layout");
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "allocation failure for public SPA map");
+        SpaMapBox { ptr }
+    }
+
+    /// Accessor over the owned map.
+    #[inline]
+    pub fn as_ref(&self) -> SpaMapRef {
+        unsafe { SpaMapRef::from_raw(self.ptr) }
+    }
+}
+
+impl Default for SpaMapBox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for SpaMapBox {
+    fn drop(&mut self) {
+        // Dropping a non-empty map would leak the views it references;
+        // the reducer runtime always drains before recycling. Be loud in
+        // debug builds, tolerant (leak, don't crash) in release.
+        debug_assert!(
+            self.as_ref().is_empty(),
+            "dropping a non-empty public SPA map leaks views"
+        );
+        let layout = Layout::from_size_align(MAP_SIZE, MAP_SIZE).expect("static layout");
+        unsafe { dealloc(self.ptr, layout) };
+    }
+}
+
+unsafe impl Send for SpaMapBox {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(tag: usize) -> ViewPair {
+        // Fabricate distinct non-null dangling pointers; tests never
+        // dereference them.
+        ViewPair {
+            view: (0x1000 + tag * 16) as *mut u8,
+            monoid: 0x8000 as *const u8,
+        }
+    }
+
+    #[test]
+    fn layout_is_exactly_one_page() {
+        assert_eq!(std::mem::size_of::<SpaMapLayout>(), 4096);
+        assert_eq!(std::mem::size_of::<ViewPair>(), 16);
+    }
+
+    #[test]
+    fn zeroed_memory_is_an_empty_map() {
+        let b = SpaMapBox::new();
+        let m = b.as_ref();
+        assert!(m.is_empty());
+        assert_eq!(m.nlog(), 0);
+        assert!(!m.log_overflowed());
+        for i in 0..VIEWS_PER_MAP {
+            assert!(m.get(i).is_null());
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let b = SpaMapBox::new();
+        let m = b.as_ref();
+        assert_eq!(m.insert(5, pair(1)), InsertOutcome::Logged);
+        assert_eq!(m.nvalid(), 1);
+        assert_eq!(m.get(5), pair(1));
+        let removed = m.remove(5);
+        assert_eq!(removed, pair(1));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn drain_visits_each_valid_once_and_empties() {
+        let b = SpaMapBox::new();
+        let m = b.as_ref();
+        m.insert(1, pair(1));
+        m.insert(9, pair(9));
+        m.insert(200, pair(200));
+        m.remove(9);
+        let mut seen = Vec::new();
+        m.drain(|idx, p| seen.push((idx, p)));
+        seen.sort_by_key(|e| e.0);
+        assert_eq!(seen, vec![(1, pair(1)), (200, pair(200))]);
+        assert!(m.is_empty());
+        assert_eq!(m.nlog(), 0);
+        // Map is recyclable: re-insert works and logs from scratch.
+        assert_eq!(m.insert(1, pair(7)), InsertOutcome::Logged);
+        m.clear_all();
+    }
+
+    #[test]
+    fn log_overflow_switches_to_scan_mode() {
+        let b = SpaMapBox::new();
+        let m = b.as_ref();
+        for i in 0..LOG_CAPACITY {
+            assert_eq!(m.insert(i, pair(i)), InsertOutcome::Logged);
+        }
+        assert_eq!(
+            m.insert(LOG_CAPACITY, pair(LOG_CAPACITY)),
+            InsertOutcome::Overflowed
+        );
+        assert!(m.log_overflowed());
+        // More inserts are fine and unlogged.
+        assert_eq!(m.insert(247, pair(247)), InsertOutcome::Overflowed);
+        assert_eq!(m.nvalid(), LOG_CAPACITY + 2);
+
+        // Sequencing still finds everything by scanning.
+        let mut count = 0;
+        m.for_each_valid(|_, _| count += 1);
+        assert_eq!(count, LOG_CAPACITY + 2);
+
+        let mut drained = 0;
+        m.drain(|_, _| drained += 1);
+        assert_eq!(drained, LOG_CAPACITY + 2);
+        assert!(m.is_empty());
+        assert!(!m.log_overflowed(), "drain resets overflow state");
+    }
+
+    #[test]
+    fn stale_and_duplicate_logs_are_skipped() {
+        let b = SpaMapBox::new();
+        let m = b.as_ref();
+        m.insert(3, pair(3));
+        m.remove(3);
+        m.insert(3, pair(33)); // log holds 3 twice now
+        let mut seen = Vec::new();
+        m.for_each_valid(|idx, p| seen.push((idx, p)));
+        assert_eq!(seen, vec![(3, pair(33))]);
+        m.clear_all();
+    }
+
+    #[test]
+    fn for_each_valid_preserves_map() {
+        let b = SpaMapBox::new();
+        let m = b.as_ref();
+        m.insert(10, pair(10));
+        m.for_each_valid(|_, _| {});
+        assert_eq!(m.nvalid(), 1);
+        assert_eq!(m.get(10), pair(10));
+        m.clear_all();
+    }
+
+    #[test]
+    fn force_log_overflow_enables_scan_path() {
+        let b = SpaMapBox::new();
+        let m = b.as_ref();
+        m.insert(100, pair(100));
+        m.force_log_overflow();
+        let mut seen = Vec::new();
+        m.for_each_valid(|idx, _| seen.push(idx));
+        assert_eq!(seen, vec![100]);
+        m.clear_all();
+    }
+
+    #[test]
+    fn works_over_tlmm_like_raw_page() {
+        // Simulate a raw zeroed page (what a TLMM palloc returns).
+        let layout = Layout::from_size_align(MAP_SIZE, MAP_SIZE).unwrap();
+        let raw = unsafe { alloc_zeroed(layout) };
+        let m = unsafe { SpaMapRef::from_raw(raw) };
+        assert!(m.is_empty());
+        m.insert(42, pair(42));
+        assert_eq!(m.get(42), pair(42));
+        m.clear_all();
+        unsafe { dealloc(raw, layout) };
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "insert over occupied")]
+    fn double_insert_panics_in_debug() {
+        // ManuallyDrop: the unwind must not reach SpaMapBox::drop, whose
+        // own debug assertion (non-empty map) would turn this into a
+        // double panic.
+        let b = std::mem::ManuallyDrop::new(SpaMapBox::new());
+        let m = b.as_ref();
+        m.insert(0, pair(1));
+        m.insert(0, pair(2));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: the raw-page `SpaMapRef` must behave exactly like the
+//! safe generic `Spa` used as an executable model, and both must conserve
+//! their occupancy invariants under arbitrary operation sequences.
+
+use cilkm_spa::{Spa, SpaMapBox, ViewPair, LOG_CAPACITY, VIEWS_PER_MAP};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { idx: u8, tag: u16 },
+    Remove { idx: u8 },
+    Drain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..VIEWS_PER_MAP as u8, 1u16..u16::MAX).prop_map(|(idx, tag)| Op::Insert { idx, tag }),
+        2 => (0u8..VIEWS_PER_MAP as u8).prop_map(|idx| Op::Remove { idx }),
+        1 => Just(Op::Drain),
+    ]
+}
+
+fn tag_pair(tag: u16) -> ViewPair {
+    ViewPair {
+        view: (0x10_0000usize + (tag as usize) * 16) as *mut u8,
+        monoid: 0x8000 as *const u8,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SpaMap agrees with a BTreeMap model under inserts/removes/drains,
+    /// including across the log-overflow boundary.
+    #[test]
+    fn spa_map_matches_model(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let b = SpaMapBox::new();
+        let m = b.as_ref();
+        let mut model: BTreeMap<usize, u16> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { idx, tag } => {
+                    let idx = idx as usize;
+                    if model.contains_key(&idx) {
+                        // Occupied: the map API requires remove-first.
+                        continue;
+                    }
+                    m.insert(idx, tag_pair(tag));
+                    model.insert(idx, tag);
+                }
+                Op::Remove { idx } => {
+                    let idx = idx as usize;
+                    if model.remove(&idx).is_some() {
+                        let got = m.remove(idx);
+                        prop_assert!(!got.is_null());
+                    }
+                }
+                Op::Drain => {
+                    let mut drained = BTreeMap::new();
+                    m.drain(|idx, p| {
+                        drained.insert(idx, p);
+                    });
+                    prop_assert_eq!(drained.len(), model.len());
+                    for (idx, tag) in &model {
+                        prop_assert_eq!(drained.get(idx).copied(), Some(tag_pair(*tag)));
+                    }
+                    model.clear();
+                    prop_assert!(m.is_empty());
+                }
+            }
+            prop_assert_eq!(m.nvalid(), model.len());
+        }
+
+        // Final consistency sweep via non-destructive sequencing: every
+        // live element visited exactly once, nothing else.
+        let mut seen = BTreeMap::new();
+        let mut dup = false;
+        m.for_each_valid(|idx, p| {
+            dup |= seen.insert(idx, p).is_some();
+        });
+        prop_assert!(!dup, "for_each_valid visited a slot twice");
+        prop_assert_eq!(seen.len(), model.len());
+        for (idx, tag) in &model {
+            prop_assert_eq!(seen.get(idx).copied(), Some(tag_pair(*tag)));
+        }
+        m.clear_all();
+    }
+
+    /// Generic Spa: drain == the set of live (index, value) pairs, exactly
+    /// once each, regardless of stale log entries.
+    #[test]
+    fn generic_spa_drain_is_exact(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut spa: Spa<u16> = Spa::new(VIEWS_PER_MAP);
+        let mut model: BTreeMap<usize, u16> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert { idx, tag } => {
+                    spa.set(idx as usize, tag);
+                    model.insert(idx as usize, tag);
+                }
+                Op::Remove { idx } => {
+                    prop_assert_eq!(spa.clear(idx as usize), model.remove(&(idx as usize)));
+                }
+                Op::Drain => {
+                    let mut got = spa.drain();
+                    got.sort();
+                    let expect: Vec<_> = std::mem::take(&mut model).into_iter().collect();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(spa.len(), model.len());
+        }
+    }
+
+    /// Filling past the log capacity always flips the map into overflow
+    /// mode and sequencing still visits every element.
+    #[test]
+    fn overflow_boundary(extra in 1usize..(VIEWS_PER_MAP - LOG_CAPACITY)) {
+        let b = SpaMapBox::new();
+        let m = b.as_ref();
+        let total = LOG_CAPACITY + extra;
+        for i in 0..total {
+            m.insert(i, tag_pair((i + 1) as u16));
+        }
+        prop_assert!(m.log_overflowed());
+        let mut n = 0;
+        m.for_each_valid(|_, _| n += 1);
+        prop_assert_eq!(n, total);
+        m.clear_all();
+    }
+}

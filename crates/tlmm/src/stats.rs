@@ -1,0 +1,141 @@
+//! Global counters and an optional cost model for simulated kernel
+//! crossings.
+//!
+//! The SPAA 2012 paper argues (§5) that a naive TLMM reducer design — one
+//! that stores views directly in the TLMM region — would need many
+//! `sys_pmap` calls per steal, and that "if the number of `sys_pmap` calls
+//! is too great, the kernel crossing overhead can become a scalability
+//! bottleneck". The counters here let experiments observe exactly how many
+//! simulated crossings each design performs, and the cost model lets the
+//! `ablation_naive` bench charge a configurable latency per crossing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of simulated `sys_palloc` calls since process start.
+pub static PALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Number of simulated `sys_pfree` calls since process start.
+pub static PFREE_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Number of simulated `sys_pmap` calls since process start.
+pub static PMAP_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Number of individual page mappings installed or removed by `pmap`.
+pub static PMAP_PAGES: AtomicU64 = AtomicU64::new(0);
+
+/// Simulated cost of one kernel crossing, in nanoseconds (0 = free).
+static CROSSING_COST_NS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the global kernel-crossing counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrossingSnapshot {
+    /// `sys_palloc` calls.
+    pub palloc_calls: u64,
+    /// `sys_pfree` calls.
+    pub pfree_calls: u64,
+    /// `sys_pmap` calls.
+    pub pmap_calls: u64,
+    /// Individual page table entries touched by `pmap` calls.
+    pub pmap_pages: u64,
+}
+
+impl CrossingSnapshot {
+    /// Total simulated user/kernel round trips (each call is one crossing
+    /// pair: user mode to kernel mode and back, per §5).
+    pub fn total_crossings(&self) -> u64 {
+        self.palloc_calls + self.pfree_calls + self.pmap_calls
+    }
+
+    /// Counter-wise difference `self - earlier` (for measuring a window).
+    pub fn since(&self, earlier: &CrossingSnapshot) -> CrossingSnapshot {
+        CrossingSnapshot {
+            palloc_calls: self.palloc_calls - earlier.palloc_calls,
+            pfree_calls: self.pfree_calls - earlier.pfree_calls,
+            pmap_calls: self.pmap_calls - earlier.pmap_calls,
+            pmap_pages: self.pmap_pages - earlier.pmap_pages,
+        }
+    }
+}
+
+/// Reads the global counters.
+pub fn snapshot() -> CrossingSnapshot {
+    CrossingSnapshot {
+        palloc_calls: PALLOC_CALLS.load(Ordering::Relaxed),
+        pfree_calls: PFREE_CALLS.load(Ordering::Relaxed),
+        pmap_calls: PMAP_CALLS.load(Ordering::Relaxed),
+        pmap_pages: PMAP_PAGES.load(Ordering::Relaxed),
+    }
+}
+
+/// Sets the simulated latency charged to every kernel crossing.
+///
+/// The real TLMM-Linux syscalls cost on the order of a microsecond
+/// (two kernel crossings plus page-table manipulation). Setting a nonzero
+/// cost makes each simulated `palloc`/`pfree`/`pmap` spin for that long,
+/// which is how the naive-design ablation turns its crossing *counts* into
+/// wall-clock effects. The default is 0 (crossings are only counted).
+pub fn set_crossing_cost_ns(ns: u64) {
+    CROSSING_COST_NS.store(ns, Ordering::Relaxed);
+}
+
+/// Current simulated crossing latency in nanoseconds.
+pub fn crossing_cost_ns() -> u64 {
+    CROSSING_COST_NS.load(Ordering::Relaxed)
+}
+
+/// Charges one kernel crossing: bump `counter` and pay the cost model.
+#[inline]
+pub(crate) fn charge(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+    let cost = CROSSING_COST_NS.load(Ordering::Relaxed);
+    if cost != 0 {
+        spin_for_ns(cost);
+    }
+}
+
+/// Busy-waits for approximately `ns` nanoseconds.
+fn spin_for_ns(ns: u64) {
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_since_subtracts_componentwise() {
+        let a = CrossingSnapshot {
+            palloc_calls: 10,
+            pfree_calls: 4,
+            pmap_calls: 7,
+            pmap_pages: 70,
+        };
+        let b = CrossingSnapshot {
+            palloc_calls: 3,
+            pfree_calls: 1,
+            pmap_calls: 2,
+            pmap_pages: 20,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.palloc_calls, 7);
+        assert_eq!(d.pfree_calls, 3);
+        assert_eq!(d.pmap_calls, 5);
+        assert_eq!(d.pmap_pages, 50);
+        assert_eq!(d.total_crossings(), 15);
+    }
+
+    #[test]
+    fn charge_increments_and_respects_cost_model() {
+        let before = PMAP_CALLS.load(Ordering::Relaxed);
+        charge(&PMAP_CALLS);
+        assert_eq!(PMAP_CALLS.load(Ordering::Relaxed), before + 1);
+
+        // With a visible cost the charge should take at least that long.
+        set_crossing_cost_ns(200_000);
+        let t = Instant::now();
+        charge(&PMAP_CALLS);
+        assert!(t.elapsed().as_nanos() >= 200_000);
+        set_crossing_cost_ns(0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the TLMM simulation: a region's view of memory must
+//! always agree with a straightforward model of "page table over an arena".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cilkm_tlmm::{PageArena, PageDesc, TlmmAddr, TlmmRegion, PAGE_SIZE, PD_NULL};
+use proptest::prelude::*;
+
+/// Operations a fuzzer can drive against one region.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a page and map it at the given region page.
+    MapFresh { page: u8 },
+    /// Unmap whatever is at the given region page (page stays live).
+    Unmap { page: u8 },
+    /// Write a byte through the region.
+    Write { page: u8, offset: u16, val: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(|page| Op::MapFresh { page }),
+        (0u8..16).prop_map(|page| Op::Unmap { page }),
+        (0u8..16, 0u16..PAGE_SIZE as u16, any::<u8>()).prop_map(|(page, offset, val)| Op::Write {
+            page,
+            offset,
+            val
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Region reads always agree with a shadow model keyed by
+    /// (mapped descriptor, offset); unmapped pages resolve to null.
+    #[test]
+    fn region_matches_shadow_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let arena = Arc::new(PageArena::new());
+        let mut region = TlmmRegion::new(Arc::clone(&arena));
+        // Shadow: region page -> descriptor, and (descriptor, offset) -> byte.
+        let mut mapping: HashMap<u8, PageDesc> = HashMap::new();
+        let mut bytes: HashMap<(u32, u16), u8> = HashMap::new();
+        let mut all_pds: Vec<PageDesc> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::MapFresh { page } => {
+                    let pd = arena.palloc();
+                    all_pds.push(pd);
+                    region.pmap(page as usize, &[pd]);
+                    mapping.insert(page, pd);
+                }
+                Op::Unmap { page } => {
+                    region.pmap(page as usize, &[PD_NULL]);
+                    mapping.remove(&page);
+                }
+                Op::Write { page, offset, val } => {
+                    let addr = TlmmAddr::from_parts(page as usize, offset as usize);
+                    if let Some(&pd) = mapping.get(&page) {
+                        region.write_byte(addr, val);
+                        bytes.insert((pd.raw(), offset), val);
+                    } else {
+                        prop_assert!(region.resolve(addr).is_null());
+                    }
+                }
+            }
+        }
+
+        // Final check: every mapped page reads back exactly the shadow bytes.
+        for (&page, &pd) in &mapping {
+            for off in [0u16, 1, 17, (PAGE_SIZE - 1) as u16] {
+                let expect = bytes.get(&(pd.raw(), off)).copied().unwrap_or(0);
+                let addr = TlmmAddr::from_parts(page as usize, off as usize);
+                prop_assert_eq!(region.read_byte(addr), expect);
+            }
+        }
+
+        for pd in all_pds {
+            arena.pfree(pd);
+        }
+        prop_assert_eq!(arena.live_pages(), 0);
+    }
+
+    /// Descriptors published by one region can be mapped by another and the
+    /// two alias the same bytes, at possibly different region addresses.
+    #[test]
+    fn descriptor_sharing_aliases(offsets in proptest::collection::vec(0usize..PAGE_SIZE, 1..16)) {
+        let arena = Arc::new(PageArena::new());
+        let mut r0 = TlmmRegion::new(Arc::clone(&arena));
+        let mut r1 = TlmmRegion::new(Arc::clone(&arena));
+        let pd = arena.palloc();
+        r0.pmap(0, &[pd]);
+        r1.pmap(9, &[pd]);
+        for (i, &off) in offsets.iter().enumerate() {
+            r0.write_byte(TlmmAddr::from_parts(0, off), i as u8);
+            prop_assert_eq!(r1.read_byte(TlmmAddr::from_parts(9, off)), i as u8);
+        }
+        arena.pfree(pd);
+    }
+}

@@ -1,0 +1,52 @@
+//! PBFS integration: the eight stand-in inputs of Figure 10(b), small
+//! scale, checked against serial BFS on both backends.
+
+use cilkm::graph::gen;
+use cilkm::graph::UNREACHED;
+use cilkm::prelude::*;
+
+#[test]
+fn all_paper_inputs_match_serial_bfs() {
+    let inputs = gen::paper_inputs(3000.0, 7);
+    assert_eq!(inputs.len(), 8);
+    for input in &inputs {
+        let serial = bfs_serial(&input.graph, input.source);
+        for backend in [Backend::Hypermap, Backend::Mmap] {
+            let pool = ReducerPool::new(3, backend);
+            let report = pbfs(&pool, &input.graph, input.source, 32);
+            assert_eq!(
+                report.distances, serial,
+                "{} on {backend:?} disagrees with serial BFS",
+                input.name
+            );
+            let ecc = serial
+                .iter()
+                .filter(|&&d| d != UNREACHED)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            assert_eq!(report.layers, ecc + 1, "{}", input.name);
+        }
+    }
+}
+
+#[test]
+fn pbfs_is_deterministic_across_runs() {
+    let g = gen::rmat(12, 40_000, 0.57, 0.19, 0.19, 99);
+    let pool = ReducerPool::new(4, Backend::Mmap);
+    let first = pbfs(&pool, &g, 0, 64).distances;
+    for _ in 0..3 {
+        assert_eq!(pbfs(&pool, &g, 0, 64).distances, first);
+    }
+}
+
+#[test]
+fn grid_diameter_drives_layers() {
+    // Mesh graphs: many layers, many reducer epochs — the high-D regime
+    // of Figure 10(b).
+    let g = gen::grid3d(12);
+    let pool = ReducerPool::new(2, Backend::Mmap);
+    let report = pbfs(&pool, &g, 0, 32);
+    assert_eq!(report.layers, 3 * 11 + 1);
+    assert_eq!(report.distances, bfs_serial(&g, 0));
+}

@@ -1,0 +1,321 @@
+//! Cross-crate scenario tests for the reducer mechanism: lifecycles,
+//! serial points, failure injection, and multi-pool isolation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cilkm::prelude::*;
+
+fn backends() -> [Backend; 2] {
+    [Backend::Hypermap, Backend::Mmap]
+}
+
+#[test]
+fn thousand_reducers_spanning_spa_pages() {
+    for backend in backends() {
+        let pool = ReducerPool::new(4, backend);
+        // 1000 slots = 5 private SPA pages in the mmap backend.
+        let rs: Vec<Reducer<SumMonoid<u64>>> = (0..1000)
+            .map(|_| Reducer::new(&pool, SumMonoid::new(), 0))
+            .collect();
+        pool.run(|| {
+            parallel_for(0..100_000, 512, &|range| {
+                for i in range {
+                    rs[i % 1000].add(1);
+                }
+            });
+        });
+        for (k, r) in rs.iter().enumerate() {
+            assert_eq!(r.get_cloned(), 100, "backend {backend:?} reducer {k}");
+        }
+    }
+}
+
+#[test]
+fn take_between_layers_like_pbfs() {
+    for backend in backends() {
+        let pool = ReducerPool::new(2, backend);
+        let r = Reducer::new(&pool, ListMonoid::<u32>::new(), Vec::new());
+        let layers: Vec<Vec<u32>> = pool.run(|| {
+            let mut out = Vec::new();
+            for layer in 0..5u32 {
+                parallel_for(0..64, 4, &|range| {
+                    for i in range {
+                        r.push(layer * 1000 + i as u32);
+                    }
+                });
+                // Serial point in the region spine: harvest and reset.
+                let mut got = r.take();
+                got.sort_unstable();
+                out.push(got);
+            }
+            out
+        });
+        for (layer, got) in layers.iter().enumerate() {
+            let expect: Vec<u32> = (0..64).map(|i| layer as u32 * 1000 + i).collect();
+            assert_eq!(got, &expect, "backend {backend:?} layer {layer}");
+        }
+        assert!(r.into_inner().is_empty());
+    }
+}
+
+#[test]
+fn panic_in_region_destroys_views_and_pool_survives() {
+    for backend in backends() {
+        let pool = ReducerPool::new(2, backend);
+        let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 5);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|| {
+                parallel_for(0..1000, 8, &|range| {
+                    for i in range {
+                        r.add(1);
+                        if i == 700 {
+                            panic!("injected failure");
+                        }
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        // The reducer survives with *some* prefix of updates folded; the
+        // pool remains fully usable and a fresh region is exact again.
+        let after_panic = r.take();
+        assert!(after_panic >= 5, "leftmost (initial 5) must survive");
+        pool.run(|| {
+            parallel_for(0..100, 8, &|range| {
+                for _ in range {
+                    r.add(1);
+                }
+            });
+        });
+        assert_eq!(r.into_inner(), 100, "backend {backend:?}");
+    }
+}
+
+#[test]
+fn panicking_monoid_reduce_is_contained() {
+    // A reduce operation that panics on a poisoned value: the region
+    // panics, the pool survives.
+    for backend in backends() {
+        let pool = ReducerPool::new(4, backend);
+        let r = Reducer::new(
+            &pool,
+            FnMonoid::new(
+                || 0u64,
+                |l: &mut u64, r: u64| {
+                    if r == u64::MAX {
+                        panic!("poisoned view");
+                    }
+                    *l += r;
+                },
+            ),
+            0,
+        );
+        // No poison: works.
+        pool.run(|| {
+            parallel_for(0..500, 4, &|range| {
+                for _ in range {
+                    r.update(|v| *v += 1);
+                }
+            });
+        });
+        assert_eq!(r.take(), 500, "backend {backend:?}");
+    }
+}
+
+#[test]
+fn two_pools_of_different_backends_coexist() {
+    let pool_m = ReducerPool::new(2, Backend::Mmap);
+    let pool_h = ReducerPool::new(2, Backend::Hypermap);
+    let rm = Reducer::new(&pool_m, SumMonoid::<u64>::new(), 0);
+    let rh = Reducer::new(&pool_h, SumMonoid::<u64>::new(), 0);
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            pool_m.run(|| {
+                parallel_for(0..10_000, 64, &|range| {
+                    for _ in range {
+                        rm.add(1);
+                    }
+                });
+            });
+        });
+        s.spawn(|| {
+            pool_h.run(|| {
+                parallel_for(0..10_000, 64, &|range| {
+                    for _ in range {
+                        rh.add(2);
+                    }
+                });
+            });
+        });
+    });
+
+    assert_eq!(rm.into_inner(), 10_000);
+    assert_eq!(rh.into_inner(), 20_000);
+}
+
+#[test]
+fn concurrent_runs_on_one_pool_serialize() {
+    // Two threads calling run() on the same pool must not overlap
+    // regions (region end folds into shared leftmost storage); the pool
+    // serializes them and both regions' updates land exactly.
+    for backend in backends() {
+        let pool = ReducerPool::new(2, backend);
+        let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    pool.run(|| {
+                        parallel_for(0..5000, 64, &|range| {
+                            for _ in range {
+                                r.add(1);
+                            }
+                        });
+                    });
+                });
+            }
+        });
+        assert_eq!(r.into_inner(), 20_000, "backend {backend:?}");
+    }
+}
+
+#[test]
+fn cross_pool_reducer_use_is_rejected() {
+    // A reducer belongs to one domain; using it on a worker of another
+    // pool must fail loudly (slot spaces are per-domain, so silently
+    // proceeding would alias another reducer's views).
+    for (mine, other) in [
+        (Backend::Mmap, Backend::Mmap),
+        (Backend::Hypermap, Backend::Hypermap),
+    ] {
+        let pool_a = ReducerPool::new(1, mine);
+        let pool_b = ReducerPool::new(1, other);
+        let r = Reducer::new(&pool_a, SumMonoid::<u64>::new(), 0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool_b.run(|| r.add(1));
+        }));
+        assert!(
+            caught.is_err(),
+            "{mine:?} reducer on {other:?} pool must panic"
+        );
+    }
+}
+
+#[test]
+fn serial_access_outside_any_region() {
+    for backend in backends() {
+        let pool = ReducerPool::new(1, backend);
+        let r = Reducer::new(&pool, StringMonoid::new(), String::from("a"));
+        r.append("b"); // not on a worker: leftmost path
+        pool.run(|| r.append("c"));
+        r.append("d");
+        assert_eq!(r.into_inner(), "abcd", "backend {backend:?}");
+    }
+}
+
+#[test]
+fn slot_recycling_is_clean_across_regions() {
+    for backend in backends() {
+        let pool = ReducerPool::new(2, backend);
+        for round in 0..20 {
+            let r = Reducer::new(&pool, SumMonoid::<u64>::new(), round);
+            pool.run(|| {
+                parallel_for(0..200, 8, &|range| {
+                    for _ in range {
+                        r.add(1);
+                    }
+                });
+            });
+            assert_eq!(r.into_inner(), round + 200);
+        }
+        assert_eq!(pool.domain().live_reducers(), 0);
+    }
+}
+
+#[test]
+fn nested_joins_with_shared_counter_and_reducer() {
+    // Reducers and ordinary atomics coexist; the reducer avoids the
+    // contention the atomic suffers.
+    for backend in backends() {
+        let pool = ReducerPool::new(4, backend);
+        let red = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+        let atomic = AtomicU64::new(0);
+        fn go(depth: u32, red: &Reducer<SumMonoid<u64>>, atomic: &AtomicU64) {
+            if depth == 0 {
+                red.add(1);
+                atomic.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            join(|| go(depth - 1, red, atomic), || go(depth - 1, red, atomic));
+        }
+        pool.run(|| go(12, &red, &atomic));
+        assert_eq!(red.into_inner(), 1 << 12);
+        assert_eq!(atomic.into_inner(), 1 << 12);
+    }
+}
+
+#[test]
+fn scope_spawns_merge_into_reducers() {
+    // The help-first scope: spawned tasks' views merge in spawn order
+    // after the owner's. Sum is commutative so the result is exact; the
+    // list shows the documented owner-first, then spawn-order semantics.
+    for backend in backends() {
+        let pool = ReducerPool::new(4, backend);
+        let sum = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+        let list = Reducer::new(&pool, ListMonoid::<u32>::new(), Vec::new());
+        pool.run(|| {
+            scope(|s| {
+                list.push(999); // owner's update: ordered first
+                for k in 0..16u32 {
+                    let (sum, list) = (&sum, &list);
+                    s.spawn(move |_| {
+                        for _ in 0..100 {
+                            sum.add(1);
+                        }
+                        list.push(k);
+                    });
+                }
+            });
+        });
+        assert_eq!(sum.into_inner(), 1600, "backend {backend:?}");
+        let got = list.into_inner();
+        assert_eq!(got[0], 999);
+        let mut spawned = got[1..].to_vec();
+        spawned.sort_unstable();
+        assert_eq!(spawned, (0..16).collect::<Vec<u32>>());
+        // Spawn-order merging: the tail is exactly 0..16 in order.
+        assert_eq!(got[1..].to_vec(), (0..16).collect::<Vec<u32>>());
+    }
+}
+
+#[test]
+fn instrument_reports_parallel_machinery() {
+    // A steal-rich run must report view transferal and merges on the
+    // instrumented counters — the machinery Figures 7/8 are built on.
+    for backend in backends() {
+        let pool = ReducerPool::new(4, backend);
+        let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+        for _ in 0..20 {
+            pool.run(|| {
+                parallel_for(0..20_000, 64, &|range| {
+                    let mut acc = 0u64;
+                    for i in range {
+                        acc = acc.wrapping_add(i as u64).rotate_left(5);
+                        r.add(1);
+                    }
+                    std::hint::black_box(acc);
+                });
+            });
+        }
+        let snap = pool.instrument();
+        assert!(snap.lookups >= 400_000);
+        let stats = pool.stats();
+        if stats.steals > 0 {
+            assert!(
+                snap.view_creations > 0,
+                "steals without view creations ({backend:?})"
+            );
+        }
+        assert_eq!(r.into_inner(), 400_000);
+    }
+}
