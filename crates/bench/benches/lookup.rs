@@ -30,9 +30,89 @@ fn reducer_lookup(c: &mut Criterion, name: &str, backend: Backend) {
     });
 }
 
+/// Repeated access to one reducer: the pattern a typical reduction loop
+/// produces, and the one the single-entry last-lookup cache serves.
+fn repeated_lookup(c: &mut Criterion, name: &str, backend: Backend) {
+    let pool = ReducerPool::new(1, backend);
+    let reducer: Reducer<SumMonoid<u64>> = Reducer::new(&pool, SumMonoid::new(), 0);
+    c.bench_function(name, |b| {
+        b.iter_custom(|iters| {
+            pool.run(|| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    reducer.add(1);
+                }
+                t0.elapsed()
+            })
+        })
+    });
+}
+
+/// Strict alternation between two reducers: defeats the single-entry
+/// cache on every access, so this measures the cache's overhead when it
+/// never hits (the full two-load path plus one failed compare).
+fn alternating_lookup(c: &mut Criterion, name: &str, backend: Backend) {
+    let pool = ReducerPool::new(1, backend);
+    let reducers: Vec<Reducer<SumMonoid<u64>>> = (0..2)
+        .map(|_| Reducer::new(&pool, SumMonoid::new(), 0))
+        .collect();
+    c.bench_function(name, |b| {
+        b.iter_custom(|iters| {
+            pool.run(|| {
+                let t0 = Instant::now();
+                for i in 0..iters {
+                    reducers[(i & 1) as usize].add(1);
+                }
+                t0.elapsed()
+            })
+        })
+    });
+}
+
+/// First access after a steal: every timed update misses and pays lazy
+/// identity-view creation plus insertion. Between timed batches the views
+/// are folded back (untimed), so each reducer's next access misses again
+/// — the same state a thief's fresh context is in.
+fn first_miss_lookup(c: &mut Criterion, name: &str, backend: Backend) {
+    const BATCH: u64 = 64;
+    let pool = ReducerPool::new(1, backend);
+    let reducers: Vec<Reducer<SumMonoid<u64>>> = (0..BATCH)
+        .map(|_| Reducer::new(&pool, SumMonoid::new(), 0))
+        .collect();
+    c.bench_function(name, |b| {
+        b.iter_custom(|iters| {
+            pool.run(|| {
+                let mut total = Duration::ZERO;
+                let rounds = iters.div_ceil(BATCH);
+                for _ in 0..rounds {
+                    let t0 = Instant::now();
+                    for r in reducers.iter() {
+                        r.add(1);
+                    }
+                    total += t0.elapsed();
+                    // Untimed: fold the context views back into leftmost
+                    // storage so the next round misses again.
+                    for r in reducers.iter() {
+                        r.read(|_| ());
+                    }
+                }
+                // Scale to the requested iteration count.
+                total.mul_f64(iters as f64 / (rounds * BATCH) as f64)
+            })
+        })
+    });
+}
+
 fn bench_lookups(c: &mut Criterion) {
     reducer_lookup(c, "lookup/memory-mapped", Backend::Mmap);
     reducer_lookup(c, "lookup/hypermap", Backend::Hypermap);
+
+    repeated_lookup(c, "lookup/repeated/memory-mapped", Backend::Mmap);
+    repeated_lookup(c, "lookup/repeated/hypermap", Backend::Hypermap);
+    alternating_lookup(c, "lookup/alternating/memory-mapped", Backend::Mmap);
+    alternating_lookup(c, "lookup/alternating/hypermap", Backend::Hypermap);
+    first_miss_lookup(c, "lookup/first-miss/memory-mapped", Backend::Mmap);
+    first_miss_lookup(c, "lookup/first-miss/hypermap", Backend::Hypermap);
 
     c.bench_function("lookup/l1-baseline", |b| {
         let cells: Vec<std::cell::UnsafeCell<u64>> =

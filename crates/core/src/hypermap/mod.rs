@@ -35,7 +35,17 @@ pub struct HypermapWorkerState {
     domain: Arc<DomainInner>,
     current: Box<HyperMap>,
     lookups: Cell<u64>,
+    /// Single-entry cache of the last successful lookup, `(key, view)`.
+    /// Key 0 means empty (reducer keys are non-null heap addresses).
+    /// Every hook that changes which view the context owns clears it —
+    /// see [`HypermapWorkerState::forget_last`].
+    last: Cell<(u64, *mut u8)>,
 }
+
+// The state is owned by exactly one worker at a time and handed between
+// threads only while quiescent (it travels as `Box<dyn Any + Send>`); the
+// raw view pointer in the lookup cache is never dereferenced off-worker.
+unsafe impl Send for HypermapWorkerState {}
 
 thread_local! {
     static HYPERMAP_TLS: Cell<*mut HypermapWorkerState> = const { Cell::new(std::ptr::null_mut()) };
@@ -50,6 +60,13 @@ impl HypermapWorkerState {
                 .lookups
                 .fetch_add(n, Ordering::Relaxed);
         }
+    }
+
+    /// Clears the last-lookup cache; required in every hook that changes
+    /// which view the current context owns (a stale hit would hand out a
+    /// view that has been transferred or folded away).
+    fn forget_last(&self) {
+        self.last.set((0, std::ptr::null_mut()));
     }
 }
 
@@ -85,18 +102,40 @@ pub(crate) fn lookup(slot: Slot, inst: &MonoidInstance, domain: &DomainInner) ->
     // The hash key is the reducer's address (§3), as in Cilk Plus.
     let key = inst.as_erased() as u64;
     unsafe {
-        {
-            let st = &*ptr;
-            assert!(
-                std::ptr::eq(Arc::as_ptr(&st.domain), domain),
-                "reducer used on a worker of a different pool"
-            );
+        let st = &*ptr;
+        assert!(
+            std::ptr::eq(Arc::as_ptr(&st.domain), domain),
+            "reducer used on a worker of a different pool"
+        );
+        if crate::instrument::COUNT_LOOKUPS {
             st.lookups.set(st.lookups.get() + 1);
-            if let Some(pair) = st.current.get(key) {
-                return Some(pair.view);
-            }
         }
-        // Miss: create an identity view (user code — no state borrow held).
+        // Same reducer as last time: skip the hash probe entirely.
+        let (last_key, last_view) = st.last.get();
+        if last_key == key {
+            return Some(last_view);
+        }
+        if let Some(pair) = st.current.get(key) {
+            st.last.set((key, pair.view));
+            return Some(pair.view);
+        }
+    }
+    lookup_miss(key, slot, inst, domain, ptr)
+}
+
+/// The outlined miss path: creates and inserts an identity view (at most
+/// once per reducer per steal).
+#[cold]
+#[inline(never)]
+fn lookup_miss(
+    key: u64,
+    slot: Slot,
+    inst: &MonoidInstance,
+    domain: &DomainInner,
+    ptr: *mut HypermapWorkerState,
+) -> Option<*mut u8> {
+    unsafe {
+        // Create an identity view (user code — no state borrow held).
         let t0 = std::time::Instant::now();
         let view = inst.identity();
         domain
@@ -119,6 +158,7 @@ pub(crate) fn lookup(slot: Slot, inst: &MonoidInstance, domain: &DomainInner) ->
             .view_insertions
             .fetch_add(1, Ordering::Relaxed);
         Instrument::add_short_ns(&domain.instrument.view_insertion_ns, t1);
+        (*ptr).last.set((key, view));
         Some(view)
     }
 }
@@ -134,6 +174,7 @@ pub(crate) fn remove_current(key: u64, domain: &DomainInner) -> Option<*mut u8> 
     unsafe {
         let st = &mut *ptr;
         assert!(std::ptr::eq(Arc::as_ptr(&st.domain), domain));
+        st.forget_last();
         st.current.remove(key).map(|p| p.view)
     }
 }
@@ -160,6 +201,7 @@ impl HyperHooks for HypermapHooks {
             domain: Arc::clone(&self.domain),
             current: Box::new(HyperMap::new()),
             lookups: Cell::new(0),
+            last: Cell::new((0, std::ptr::null_mut())),
         });
         // The Box's heap address is stable; publish it for the fast path.
         let raw = &*state as *const HypermapWorkerState as *mut HypermapWorkerState;
@@ -172,6 +214,7 @@ impl HyperHooks for HypermapHooks {
             .downcast_mut::<HypermapWorkerState>()
             .expect("hypermap state");
         st.flush_lookups();
+        st.forget_last();
         let t0 = crate::instrument::thread_time_ns();
         // View transferal in the hypermap scheme: switch a few pointers —
         // the whole map is handed over, and the context gets a freshly
@@ -193,6 +236,7 @@ impl HyperHooks for HypermapHooks {
             .expect("hypermap state");
         let map = views.downcast::<HyperMap>().expect("hypermap views");
         debug_assert!(st.current.is_empty(), "attach over non-empty context");
+        st.forget_last();
         st.current = map;
     }
 
@@ -204,6 +248,7 @@ impl HyperHooks for HypermapHooks {
             .downcast_mut::<HypermapWorkerState>()
             .expect("hypermap state");
         let mut right = right.downcast::<HyperMap>().expect("hypermap views");
+        unsafe { (*st).forget_last() };
         let t0 = crate::instrument::thread_time_ns();
         self.ins().merges.fetch_add(1, Ordering::Relaxed);
 
@@ -253,6 +298,7 @@ impl HyperHooks for HypermapHooks {
             .expect("hypermap state");
         unsafe {
             (*st).flush_lookups();
+            (*st).forget_last();
             let drained = (*st).current.drain();
             for (_, slot, pair) in drained {
                 self.domain.fold_into_leftmost(slot, pair.view);

@@ -23,6 +23,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Whether hot-path (per-lookup) counting is compiled in. The cold,
+/// steal-path counters above are always live — they are off the critical
+/// path — but the per-lookup increment sits inside the two-load fast path
+/// that Figure 1 measures, so release builds compile it out unless the
+/// `instrument` feature is enabled (the bench harness enables it; debug
+/// builds keep it so counter-asserting tests work under `cargo test`).
+pub(crate) const COUNT_LOOKUPS: bool = cfg!(any(debug_assertions, feature = "instrument"));
+
 /// Shared (per-domain) instrumentation totals.
 #[derive(Default)]
 pub struct Instrument {

@@ -56,10 +56,40 @@ pub struct MmapWorkerState {
     /// Local pool of empty public SPA maps.
     local_pool: Vec<SpaMapBox>,
     lookups: Cell<u64>,
+    /// Single-entry cache of the last successful lookup. Keyed by
+    /// (domain, page, idx) so a hit needs no map walk and no domain
+    /// re-validation; every hook that can change the view owned by the
+    /// current context (detach, attach, merge, suspend, resume, root
+    /// collection, removal) must clear it — see [`MmapWorkerState::forget_last`].
+    last: Cell<LastLookup>,
     /// Number of views currently in the private maps (drives the
     /// sweep-smaller choice during hypermerge).
     current_views: usize,
 }
+
+/// The last-lookup cache line: the key identifies one reducer slot in one
+/// domain; `view` is its resolved view pointer.
+#[derive(Copy, Clone)]
+struct LastLookup {
+    domain: *const DomainInner,
+    page: usize,
+    idx: usize,
+    view: *mut u8,
+}
+
+impl LastLookup {
+    const EMPTY: LastLookup = LastLookup {
+        domain: std::ptr::null(),
+        page: usize::MAX,
+        idx: usize::MAX,
+        view: std::ptr::null_mut(),
+    };
+}
+
+// The state is owned by exactly one worker at a time and handed between
+// threads only while quiescent (it travels as `Box<dyn Any + Send>`); the
+// raw pointers in the lookup cache are never dereferenced off-worker.
+unsafe impl Send for MmapWorkerState {}
 
 /// The thread-local fast-path descriptor: a snapshot of the worker's
 /// private page table. Real Cilk-M needs none of this — the MMU *is* the
@@ -137,6 +167,14 @@ impl MmapWorkerState {
                 .lookups
                 .fetch_add(n, Ordering::Relaxed);
         }
+    }
+
+    /// Clears the last-lookup cache. Must run in every hook that changes
+    /// which view the current context owns for any slot: a stale entry
+    /// would silently resolve a lookup to a view that has been handed to
+    /// another context (or folded away), breaking reducer semantics.
+    fn forget_last(&self) {
+        self.last.set(LastLookup::EMPTY);
     }
 
     /// Maps fresh zeroed pages so the private maps cover `page` (a
@@ -217,12 +255,14 @@ unsafe fn page_at(st: *mut MmapWorkerState, pidx: usize) -> SpaMapRef {
     (&(*st).pages)[pidx]
 }
 
-/// The memory-mapped reducer lookup (§6): two loads and a predictable
-/// branch on the hit path.
+/// The memory-mapped reducer lookup (§6): on the hit path, either a
+/// single-entry cache hit (three compares against the last lookup) or
+/// the paper's two loads and a predictable branch through the private
+/// SPA map, with no counter traffic in plain release builds.
 ///
 /// Returns `None` when the calling thread is not a worker of `domain`'s
 /// pool (the caller then takes the serial leftmost path).
-#[inline]
+#[inline(always)]
 pub(crate) fn lookup(
     page: usize,
     idx: usize,
@@ -233,25 +273,52 @@ pub(crate) fn lookup(
     if tls.state.is_null() {
         return None;
     }
-    assert!(
-        std::ptr::eq(tls.domain, domain),
-        "reducer used on a worker of a different pool"
-    );
     unsafe {
-        {
-            let st = &*tls.state;
+        let st = &*tls.state;
+        if crate::instrument::COUNT_LOOKUPS {
             st.lookups.set(st.lookups.get() + 1);
-            if page < tls.len {
-                // The fast path the paper counts: dereference the slot's
-                // private SPA element and test the view pointer.
-                let view = (*(*tls.pages.add(page)).slot_ptr(idx)).view;
-                if !view.is_null() {
-                    return Some(view);
-                }
+        }
+        // Same reducer as last time? The cache key includes the domain,
+        // so a hit needs no separate pool-membership check.
+        let last = st.last.get();
+        if last.page == page && last.idx == idx && std::ptr::eq(last.domain, domain) {
+            return Some(last.view);
+        }
+        assert!(
+            std::ptr::eq(tls.domain, domain),
+            "reducer used on a worker of a different pool"
+        );
+        if page < tls.len {
+            // The fast path the paper counts: dereference the slot's
+            // private SPA element and test the view pointer.
+            let view = (*(*tls.pages.add(page)).slot_ptr(idx)).view;
+            if !view.is_null() {
+                st.last.set(LastLookup {
+                    domain,
+                    page,
+                    idx,
+                    view,
+                });
+                return Some(view);
             }
         }
-        let ptr = tls.state;
-        // Miss: happens at most once per reducer per steal (§6).
+    }
+    lookup_miss(page, idx, inst, domain, tls.state)
+}
+
+/// The outlined miss path: creates and inserts an identity view. Happens
+/// at most once per reducer per steal (§6), so it stays out of line to
+/// keep the hit path small enough to inline everywhere.
+#[cold]
+#[inline(never)]
+fn lookup_miss(
+    page: usize,
+    idx: usize,
+    inst: &MonoidInstance,
+    domain: &DomainInner,
+    ptr: *mut MmapWorkerState,
+) -> Option<*mut u8> {
+    unsafe {
         (*ptr).ensure_page(page);
 
         let t0 = std::time::Instant::now();
@@ -282,6 +349,12 @@ pub(crate) fn lookup(
             .view_insertions
             .fetch_add(1, Ordering::Relaxed);
         Instrument::add_short_ns(&domain.instrument.view_insertion_ns, t1);
+        (*ptr).last.set(LastLookup {
+            domain,
+            page,
+            idx,
+            view,
+        });
         Some(view)
     }
 }
@@ -297,6 +370,7 @@ pub(crate) fn remove_current(slot: Slot, domain: &DomainInner) -> Option<*mut u8
     unsafe {
         let st = &mut *tls.state;
         assert!(std::ptr::eq(Arc::as_ptr(&st.domain), domain));
+        st.forget_last();
         if page < st.pages.len() && !st.pages[page].get(idx).is_null() {
             let pair = st.pages[page].remove(idx);
             st.current_views -= 1;
@@ -333,6 +407,7 @@ impl HyperHooks for MmapHooks {
             free_pages: Vec::new(),
             local_pool: Vec::new(),
             lookups: Cell::new(0),
+            last: Cell::new(LastLookup::EMPTY),
             current_views: 0,
         });
         let raw = &*state as *const MmapWorkerState as *mut MmapWorkerState;
@@ -343,6 +418,7 @@ impl HyperHooks for MmapHooks {
     fn detach(&self, state: &mut dyn Any) -> DetachedViews {
         let st = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
         st.flush_lookups();
+        st.forget_last();
         let t0 = crate::instrument::thread_time_ns();
         let mut maps = Vec::new();
         let mut count = 0usize;
@@ -378,6 +454,7 @@ impl HyperHooks for MmapHooks {
         let st = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
         let det = *views.downcast::<MmapDetached>().expect("mmap views");
         debug_assert_eq!(st.current_views, 0, "attach over non-empty context");
+        st.forget_last();
         let t0 = crate::instrument::thread_time_ns();
         for (pidx, public) in det.maps {
             let pidx = pidx as usize;
@@ -398,6 +475,7 @@ impl HyperHooks for MmapHooks {
         // the state may be live across them.
         let st: *mut MmapWorkerState = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
         let det = *right.downcast::<MmapDetached>().expect("mmap views");
+        unsafe { (*st).forget_last() };
         let t0 = crate::instrument::thread_time_ns();
         self.ins().merges.fetch_add(1, Ordering::Relaxed);
         let mut pairs_reduced = 0u64;
@@ -491,6 +569,7 @@ impl HyperHooks for MmapHooks {
         let st: *mut MmapWorkerState = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
         unsafe {
             (*st).flush_lookups();
+            (*st).forget_last();
             if (*st).current_views == 0 {
                 return;
             }
@@ -520,6 +599,7 @@ impl HyperHooks for MmapHooks {
     fn suspend(&self, state: &mut dyn Any) -> DetachedViews {
         let st = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
         st.flush_lookups();
+        st.forget_last();
         // Set the private pages aside wholesale: the views stay on their
         // physical pages; only the mapping changes hands. The interim
         // context will map fresh pages lazily.
@@ -536,6 +616,7 @@ impl HyperHooks for MmapHooks {
         let st = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
         let saved = *views.downcast::<MmapSuspended>().expect("mmap suspended");
         debug_assert_eq!(st.current_views, 0, "resume over non-empty context");
+        st.forget_last();
         // Retire the interim context's pages: the preceding detach left
         // them empty and zeroed, so they are directly reusable.
         for (pd, page) in st.descs.drain(..).zip(st.pages.drain(..)) {

@@ -389,6 +389,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(any(debug_assertions, feature = "instrument"))]
     fn lookup_instrument_counts() {
         for pool in both_backends() {
             let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);

@@ -5,17 +5,28 @@
 //! does the same with nested [`join`]s, so iteration order within each
 //! grain is the serial order and grains are reduced left-to-right — the
 //! property that keeps non-commutative reducers deterministic.
+//!
+//! Splitting is *adaptive* rather than exhaustive: each loop starts with
+//! a split budget equal to the worker count, halved at every split, and
+//! reset whenever the range is observed on a different worker than the
+//! one that split it (the signature of a steal — meaning thieves are
+//! hungry and more parallelism is worth exposing). With no steals a loop
+//! therefore forks only ~2·P times regardless of `len/grain`, while
+//! under load it keeps subdividing. A range whose budget is exhausted
+//! runs serially, still invoking `body` in `grain`-sized pieces.
 
 use std::ops::Range;
 
 use crate::join;
+use crate::registry::{current_num_threads, current_worker_index};
 
-/// Runs `body` over every sub-range of `range`, splitting recursively
-/// until pieces are at most `grain` long.
+/// Runs `body` over every sub-range of `range`, splitting until pieces
+/// are at most `grain` long (adaptively — see the module comment).
 ///
-/// `body` receives contiguous sub-ranges that partition `range`; within a
-/// sub-range it iterates serially, and the recursion preserves the serial
-/// left-to-right reduction order for reducers.
+/// `body` receives contiguous sub-ranges of at most `grain` elements that
+/// partition `range`; within a sub-range it iterates serially, and the
+/// recursion preserves the serial left-to-right reduction order for
+/// reducers.
 ///
 /// # Panics
 ///
@@ -25,6 +36,23 @@ where
     F: Fn(Range<usize>) + Sync,
 {
     assert!(grain > 0, "grain must be at least 1");
+    // Off-pool callers get a zero budget: the whole range runs serially
+    // (join() would run its closures inline anyway).
+    let budget = current_num_threads().unwrap_or(0);
+    adaptive(range, grain, body, budget, current_worker_index());
+}
+
+/// The recursive worker behind [`parallel_for`]: splits while `budget`
+/// lasts, replenishing it after a migration (= this range was stolen).
+fn adaptive<F>(
+    range: Range<usize>,
+    grain: usize,
+    body: &F,
+    mut budget: usize,
+    origin: Option<usize>,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
     let len = range.end.saturating_sub(range.start);
     if len <= grain {
         if len > 0 {
@@ -32,12 +60,30 @@ where
         }
         return;
     }
-    let mid = range.start + len / 2;
-    let (left, right) = (range.start..mid, mid..range.end);
-    join(
-        || parallel_for(left, grain, body),
-        || parallel_for(right, grain, body),
-    );
+    // Executing on a different worker than the one that forked this range
+    // means it was stolen: thieves are idle, so spend a full fresh budget
+    // on exposing more parallelism (rayon's adaptive-splitting heuristic).
+    let here = current_worker_index();
+    if here != origin {
+        budget = current_num_threads().unwrap_or(0);
+    }
+    if budget > 0 {
+        let mid = range.start + len / 2;
+        let child = budget / 2;
+        join(
+            || adaptive(range.start..mid, grain, body, child, here),
+            || adaptive(mid..range.end, grain, body, child, here),
+        );
+        return;
+    }
+    // Budget exhausted: run serially, keeping the documented contract
+    // that `body` sees pieces of at most `grain` elements, left to right.
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + grain).min(range.end);
+        body(start..end);
+        start = end;
+    }
 }
 
 /// Runs `body(i, &items[i])` for every element of `items`, in parallel,
@@ -116,5 +162,30 @@ mod tests {
     #[should_panic(expected = "grain must be")]
     fn zero_grain_panics() {
         parallel_for(0..10, 0, &|_| {});
+    }
+
+    #[test]
+    fn pieces_never_exceed_grain() {
+        let pool = Pool::new(4);
+        // Large range, tiny grain: adaptive splitting exhausts its budget
+        // quickly and must fall back to serial grain-sized chunking.
+        let max_piece = AtomicUsize::new(0);
+        let total = AtomicUsize::new(0);
+        pool.run(|| {
+            parallel_for(0..10_000, 7, &|r| {
+                max_piece.fetch_max(r.len(), Ordering::Relaxed);
+                total.fetch_add(r.len(), Ordering::Relaxed);
+            });
+        });
+        assert!(max_piece.load(Ordering::Relaxed) <= 7);
+        assert_eq!(total.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn off_pool_call_runs_serially_in_grain_chunks() {
+        // No pool: every piece still arrives, serially, at most grain long.
+        let seen = std::sync::Mutex::new(Vec::new());
+        parallel_for(0..25, 10, &|r| seen.lock().unwrap().push(r));
+        assert_eq!(seen.into_inner().unwrap(), vec![0..10, 10..20, 20..25]);
     }
 }

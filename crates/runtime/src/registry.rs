@@ -1,14 +1,43 @@
 //! The worker registry: pool construction, worker threads, the steal
 //! loop, and the context-suspension discipline around foreign jobs.
+//!
+//! # The sleeper/waker handshake
+//!
+//! Idle workers park without any lock on the wake path; producers pay
+//! one fence and one load when everybody is awake. Correctness rests on
+//! a single invariant, enforced with `SeqCst` fences on both sides:
+//!
+//! * A **parker** announces itself (marks its slot `PARKED`, increments
+//!   `sleepers`), executes a `SeqCst` fence, and only then re-checks for
+//!   work (termination, injected jobs, non-empty deques). It parks only
+//!   if that re-check finds nothing.
+//! * A **waker** first publishes the work (deque push or injection),
+//!   executes a `SeqCst` fence, and only then loads `sleepers`.
+//!
+//! Both fences are totally ordered. If the waker's fence comes first,
+//! the parker's re-check (after its own fence) observes the published
+//! work and the parker retracts instead of parking. If the parker's
+//! fence comes first, the waker's `sleepers` load observes the
+//! increment and the waker wakes somebody. Either way no job is left
+//! behind with every worker asleep. (A plain `Relaxed` load of
+//! `sleepers` *without* the waker-side fence — the bug this replaces —
+//! can miss a just-parked sleeper: the load may be satisfied before the
+//! parker's increment while the parker's re-check missed the push.)
+//!
+//! Waking claims a specific worker by CAS `PARKED → NOTIFIED` before
+//! `unpark`, so concurrent wakers each rouse a *different* sleeper
+//! instead of all piling onto one. A parked worker also wakes on a
+//! timeout backstop, so a liveness bug degrades to latency, not
+//! deadlock.
 
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use crate::deque::{deque, DequeOwner, DequeStealer, Steal};
 use crate::hooks::{DetachedViews, HyperHooks, NoopHooks};
@@ -50,9 +79,21 @@ pub struct PoolStats {
     pub stolen_joins: u64,
 }
 
+/// Park-state values for [`ThreadInfo::park_state`] (see the module
+/// comment for the protocol).
+const AWAKE: u32 = 0;
+const PARKED: u32 = 1;
+const NOTIFIED: u32 = 2;
+
 struct ThreadInfo {
     stealer: DequeStealer,
     stats: WorkerStats,
+    /// `AWAKE`/`PARKED`/`NOTIFIED`; wakers claim a sleeper by CAS
+    /// `PARKED → NOTIFIED` before unparking it.
+    park_state: AtomicU32,
+    /// The worker's thread handle for `unpark`; the worker registers it
+    /// before its first park, so any observer of `PARKED` finds it set.
+    parker: OnceLock<std::thread::Thread>,
 }
 
 /// Shared pool state.
@@ -61,9 +102,20 @@ pub(crate) struct Registry {
     threads: Vec<ThreadInfo>,
     injector: Mutex<VecDeque<JobRef>>,
     injected: AtomicUsize,
-    sleep_mutex: Mutex<()>,
-    sleep_cond: Condvar,
+    /// Number of workers currently announced as sleeping (protocol in
+    /// the module comment). Incremented before parking, decremented on
+    /// wake; wakers read it after a `SeqCst` fence.
     sleepers: AtomicUsize,
+    /// Rotates the starting point of wake scans so repeated wakes do not
+    /// all land on worker 0.
+    wake_cursor: AtomicUsize,
+    /// Failed steal sweeps spent spinning / yielding before a worker
+    /// parks. `(SPIN_TRIES, YIELD_TRIES)` when the pool fits in the
+    /// hardware, `(0, 1)` when workers are oversubscribed on too few
+    /// cores — there, every cycle an idle worker burns before parking
+    /// is stolen from the thread that actually holds work.
+    spin_tries: u32,
+    yield_tries: u32,
     terminate: AtomicBool,
 }
 
@@ -75,9 +127,10 @@ impl Registry {
     fn inject(&self, job: JobRef) {
         self.injector.lock().push_back(job);
         self.injected.fetch_add(1, Ordering::Release);
-        // Wake everyone: an injection is rare and starts a region.
-        let _guard = self.sleep_mutex.lock();
-        self.sleep_cond.notify_all();
+        // Waker side of the handshake (module comment), then wake
+        // everyone: an injection is rare and starts a region.
+        fence(Ordering::SeqCst);
+        self.wake_all();
     }
 
     fn pop_injected(&self) -> Option<JobRef> {
@@ -93,11 +146,60 @@ impl Registry {
     }
 
     /// Wakes one sleeping worker if any (called after deque pushes).
+    ///
+    /// Lock-free: the common everybody-awake case is one fence and one
+    /// load. The fence is the waker side of the handshake in the module
+    /// comment — the caller has already published the job, so either
+    /// this load observes a sleeper, or that sleeper's post-announce
+    /// re-check observes the job.
     #[inline]
     pub(crate) fn signal_work(&self) {
+        fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::Relaxed) > 0 {
-            let _guard = self.sleep_mutex.lock();
-            self.sleep_cond.notify_one();
+            self.wake_one();
+        }
+    }
+
+    /// Claims and unparks one parked worker, if any is still parked.
+    #[cold]
+    fn wake_one(&self) {
+        let n = self.threads.len();
+        let start = self.wake_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for i in 0..n {
+            let t = &self.threads[(start + i) % n];
+            if t.park_state
+                .compare_exchange(PARKED, NOTIFIED, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                // A worker marks itself PARKED only after registering its
+                // handle, so the claim guarantees the handle is present.
+                t.parker
+                    .get()
+                    .expect("claimed sleeper has no handle")
+                    .unpark();
+                return;
+            }
+        }
+        // Every announced sleeper is already claimed or mid-wakeup; their
+        // own re-checks (or the woken workers' steal loops) cover the new
+        // job, so there is nobody left to rouse.
+    }
+
+    /// Unparks every worker (termination and region starts).
+    fn wake_all(&self) {
+        for t in &self.threads {
+            // Unconditional: claiming is pointless when waking everyone,
+            // and an unpark of a running worker is a no-op beyond making
+            // its next park return immediately (it re-checks and re-parks).
+            let _ = t.park_state.compare_exchange(
+                PARKED,
+                NOTIFIED,
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            );
+            if let Some(h) = t.parker.get() {
+                h.unpark();
+            }
         }
     }
 
@@ -196,13 +298,24 @@ impl WorkerThread {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
-    /// One random steal sweep over all other workers, then the injector.
+    /// One randomized steal sweep over all other workers, then the
+    /// injector. The sweep visits victims at `start + i·stride (mod n)`
+    /// with a random start *and* a random stride coprime to `n` — a
+    /// fresh random permutation each sweep (not just a rotated fixed
+    /// order), with no allocation in the steal loop. Distinct
+    /// permutations keep simultaneous thieves from convoying over the
+    /// victims in the same sequence.
     fn try_steal(&self) -> Option<JobRef> {
         let n = self.registry.threads.len();
         if n > 1 {
-            let start = (self.next_rand() as usize) % n;
+            let r = self.next_rand();
+            let start = (r as usize) % n;
+            let mut stride = 1 + (r >> 32) as usize % (n - 1).max(1);
+            while gcd(stride, n) != 1 {
+                stride -= 1; // reaches 1, which is coprime to everything
+            }
             for i in 0..n {
-                let victim = (start + i) % n;
+                let victim = (start + i * stride) % n;
                 if victim == self.index {
                     continue;
                 }
@@ -270,9 +383,14 @@ impl WorkerThread {
                 continue;
             }
             // Nothing to do but wait; be polite on oversubscribed hosts.
+            // Spin with exponentially longer pause bursts, then yield.
+            // No parking here: nothing fires an unpark when the latch
+            // opens, and join waits want latency over politeness anyway.
             idle_spins += 1;
-            if idle_spins < 8 {
-                std::hint::spin_loop();
+            if idle_spins <= self.registry.spin_tries {
+                for _ in 0..(1u32 << idle_spins.min(8)) {
+                    std::hint::spin_loop();
+                }
             } else {
                 std::thread::yield_now();
             }
@@ -300,17 +418,31 @@ impl WorkerThread {
                 idle_spins = 0;
                 continue;
             }
+            // Spin with exponentially longer pause bursts, then yield.
+            // No parking here: nothing fires an unpark when the latch
+            // opens, and join waits want latency over politeness anyway.
             idle_spins += 1;
-            if idle_spins < 8 {
-                std::hint::spin_loop();
+            if idle_spins <= self.registry.spin_tries {
+                for _ in 0..(1u32 << idle_spins.min(8)) {
+                    std::hint::spin_loop();
+                }
             } else {
                 std::thread::yield_now();
             }
         }
     }
 
-    /// The top-level scheduling loop.
+    /// The top-level scheduling loop, with spin → yield → park backoff:
+    /// a worker that keeps failing to find work spins briefly (stealable
+    /// work often appears within nanoseconds), then yields the CPU a few
+    /// times, and only then pays the cost of parking.
     fn main_loop(&self) {
+        // Register the unpark handle before anything can mark us PARKED.
+        self.registry.threads[self.index]
+            .parker
+            .set(std::thread::current())
+            .expect("worker handle registered twice");
+        let mut idle = 0u32;
         loop {
             if self.registry.terminate.load(Ordering::Acquire) {
                 return;
@@ -319,29 +451,68 @@ impl WorkerThread {
                 // Only possible transiently (a panic unwound past pushed
                 // jobs); treat like any foreign job.
                 self.execute_idle(job);
+                idle = 0;
                 continue;
             }
             if let Some(job) = self.try_steal() {
                 self.execute_idle(job);
+                idle = 0;
                 continue;
             }
-            // Sleep until signalled (or timeout, to re-poll terminate).
-            self.registry.sleepers.fetch_add(1, Ordering::SeqCst);
-            {
-                let mut guard = self.registry.sleep_mutex.lock();
-                // Re-check under the lock to avoid missed wakeups.
-                if !self.registry.terminate.load(Ordering::Acquire)
-                    && self.registry.injected.load(Ordering::Acquire) == 0
-                {
-                    self.registry
-                        .sleep_cond
-                        .wait_for(&mut guard, Duration::from_millis(1));
+            idle += 1;
+            if idle <= self.registry.spin_tries {
+                // Exponentially longer pause bursts between steal sweeps.
+                for _ in 0..(1u32 << idle.min(8)) {
+                    std::hint::spin_loop();
                 }
+            } else if idle <= self.registry.spin_tries + self.registry.yield_tries {
+                std::thread::yield_now();
+            } else {
+                self.sleep();
             }
-            self.registry.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
     }
+
+    /// Parker side of the handshake in the module comment: announce,
+    /// fence, re-check, and only park if the re-check finds nothing.
+    #[cold]
+    fn sleep(&self) {
+        let reg = &*self.registry;
+        let me = &reg.threads[self.index];
+        me.park_state.store(PARKED, Ordering::SeqCst);
+        reg.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let work_exists = reg.terminate.load(Ordering::Acquire)
+            || reg.injected.load(Ordering::Acquire) != 0
+            || reg
+                .threads
+                .iter()
+                .enumerate()
+                .any(|(i, t)| i != self.index && !t.stealer.is_empty());
+        if !work_exists {
+            // Timeout backstop: a protocol bug shows up as latency, not
+            // a hang. Spurious returns are fine — the loop re-checks.
+            std::thread::park_timeout(Duration::from_millis(10));
+        }
+        reg.sleepers.fetch_sub(1, Ordering::SeqCst);
+        // Swallow any claim raced onto us (NOTIFIED): the unpark token,
+        // if still pending, only makes the next park return at once.
+        me.park_state.swap(AWAKE, Ordering::SeqCst);
+    }
 }
+
+/// Greatest common divisor (for coprime steal strides).
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Failed steal sweeps spent spinning before yielding.
+const SPIN_TRIES: u32 = 6;
+/// Failed steal sweeps spent yielding before parking.
+const YIELD_TRIES: u32 = 4;
 
 /// View transferal out of the current worker's context (called by job
 /// completion paths in `job.rs`).
@@ -361,6 +532,12 @@ pub(crate) fn collect_root_views() {
 /// Index of the worker running the current thread, if it is a pool worker.
 pub fn current_worker_index() -> Option<usize> {
     WorkerThread::current().map(|w| w.index())
+}
+
+/// Number of workers in the pool that owns the current thread, if it is a
+/// pool worker (drives the adaptive split budget in `parallel_for`).
+pub(crate) fn current_num_threads() -> Option<usize> {
+    WorkerThread::current().map(|w| w.registry.threads.len())
 }
 
 /// Configures and builds a [`Pool`].
@@ -404,16 +581,27 @@ impl PoolBuilder {
             infos.push(ThreadInfo {
                 stealer,
                 stats: WorkerStats::default(),
+                park_state: AtomicU32::new(AWAKE),
+                parker: OnceLock::new(),
             });
         }
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let (spin_tries, yield_tries) = if self.num_threads > hardware {
+            (0, 1)
+        } else {
+            (SPIN_TRIES, YIELD_TRIES)
+        };
         let registry = Arc::new(Registry {
             hooks: self.hooks,
             threads: infos,
             injector: Mutex::new(VecDeque::new()),
             injected: AtomicUsize::new(0),
-            sleep_mutex: Mutex::new(()),
-            sleep_cond: Condvar::new(),
             sleepers: AtomicUsize::new(0),
+            wake_cursor: AtomicUsize::new(0),
+            spin_tries,
+            yield_tries,
             terminate: AtomicBool::new(false),
         });
 
@@ -510,11 +698,9 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        self.registry.terminate.store(true, Ordering::Release);
-        {
-            let _guard = self.registry.sleep_mutex.lock();
-            self.registry.sleep_cond.notify_all();
-        }
+        self.registry.terminate.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        self.registry.wake_all();
         if let Some(handles) = self.handles.take() {
             for h in handles {
                 let _ = h.join();

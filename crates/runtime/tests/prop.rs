@@ -116,6 +116,87 @@ proptest! {
     }
 }
 
+/// Contended-deque stress: one owner pushing and popping against many
+/// concurrent thieves. Every pushed job must be claimed exactly once —
+/// either popped by the owner or stolen by exactly one thief — and
+/// nothing may be lost or duplicated under contention.
+#[test]
+fn contended_deque_loses_and_duplicates_nothing() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    const JOBS: usize = 20_000;
+    const THIEVES: usize = 6;
+
+    let (owner, stealer) = deque::deque();
+    let stealer = Arc::new(stealer);
+    let done = Arc::new(AtomicBool::new(false));
+    // One claim slot per job id; jobs travel as (id+1)*8 so the pointer
+    // is non-null and 8-aligned like a real JobRef.
+    let claims: Arc<Vec<AtomicU64>> = Arc::new((0..JOBS).map(|_| AtomicU64::new(0)).collect());
+
+    let thieves: Vec<_> = (0..THIEVES)
+        .map(|_| {
+            let stealer = Arc::clone(&stealer);
+            let done = Arc::clone(&done);
+            let claims = Arc::clone(&claims);
+            std::thread::spawn(move || {
+                let mut stolen = 0u64;
+                loop {
+                    match stealer.steal() {
+                        deque::Steal::Success(p) => {
+                            let id = p as usize / 8 - 1;
+                            claims[id].fetch_add(1, Ordering::Relaxed);
+                            stolen += 1;
+                        }
+                        deque::Steal::Retry => std::hint::spin_loop(),
+                        deque::Steal::Empty => {
+                            if done.load(Ordering::Acquire) && stealer.is_empty() {
+                                return stolen;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // The owner interleaves bursts of pushes with pops, like a worker
+    // spawning trees of jobs while draining its own tail.
+    let mut pushed = 0usize;
+    while pushed < JOBS {
+        let burst = 1 + (pushed % 37);
+        for _ in 0..burst.min(JOBS - pushed) {
+            owner.push(((pushed + 1) * 8) as *mut ());
+            pushed += 1;
+        }
+        // Pop roughly a third of each burst back.
+        for _ in 0..burst / 3 {
+            if let Some(p) = owner.pop() {
+                let id = p as usize / 8 - 1;
+                claims[id].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // Drain whatever the thieves have not taken.
+    while let Some(p) = owner.pop() {
+        let id = p as usize / 8 - 1;
+        claims[id].fetch_add(1, Ordering::Relaxed);
+    }
+    done.store(true, Ordering::Release);
+
+    let stolen_total: u64 = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+    for (id, c) in claims.iter().enumerate() {
+        assert_eq!(
+            c.load(Ordering::Relaxed),
+            1,
+            "job {id} claimed wrong number of times"
+        );
+    }
+    assert!(stolen_total <= JOBS as u64);
+}
+
 /// Deterministic many-round stress: mixed joins and scopes, checked sums.
 #[test]
 fn mixed_join_scope_stress() {

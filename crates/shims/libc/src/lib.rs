@@ -1,0 +1,57 @@
+//! Offline stand-in for the `libc` crate: just the symbols this
+//! workspace uses (`clock_gettime` with `CLOCK_THREAD_CPUTIME_ID`),
+//! declared directly against the platform C library.
+
+#![allow(non_camel_case_types)]
+
+/// Signed integral type for time in seconds.
+pub type time_t = i64;
+/// Signed integral C `long`.
+pub type c_long = i64;
+/// Clock identifier for the `clock_*` family.
+pub type clockid_t = i32;
+/// C `int`.
+pub type c_int = i32;
+
+/// Per-thread CPU-time clock (Linux value; identical on the targets this
+/// repo supports).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+/// Monotonic clock.
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+
+/// `struct timespec`.
+#[repr(C)]
+#[derive(Copy, Clone, Debug, Default)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds within the second.
+    pub tv_nsec: c_long,
+}
+
+extern "C" {
+    /// Reads `clk_id` into `tp`. Returns 0 on success.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cputime_clock_ticks() {
+        let mut a = timespec::default();
+        let ra = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a) };
+        assert_eq!(ra, 0);
+        let mut x = 0u64;
+        for i in 0..500_000u64 {
+            x = x.wrapping_add(i).rotate_left(7);
+        }
+        std::hint::black_box(x);
+        let mut b = timespec::default();
+        let rb = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) };
+        assert_eq!(rb, 0);
+        let ns = |t: &timespec| t.tv_sec as u128 * 1_000_000_000 + t.tv_nsec as u128;
+        assert!(ns(&b) >= ns(&a));
+    }
+}
