@@ -120,6 +120,8 @@ fn bench_lookups(c: &mut Criterion) {
         b.iter_custom(|iters| {
             let t0 = Instant::now();
             for i in 0..iters {
+                // SAFETY: the cells are only touched from this bench
+                // thread; the pointer comes from a live UnsafeCell.
                 unsafe {
                     let p = cells[(i & 3) as usize].get();
                     std::ptr::write_volatile(p, std::ptr::read_volatile(p) + 1);

@@ -35,6 +35,8 @@ fn naive_merge(w2: &mut TlmmRegion, victim_pages: &[PageDesc], scratch_base: usi
     for (i, _) in victim_pages.iter().enumerate() {
         let base = w2.page_base(scratch_base + i);
         for off in (0..PAGE_SIZE).step_by(VIEW_BYTES) {
+            // SAFETY: `base` is the start of a live mapped arena page and
+            // `off < PAGE_SIZE`, so the read stays inside that page.
             acc = acc.wrapping_add(unsafe { *base.add(off) } as u64);
         }
     }

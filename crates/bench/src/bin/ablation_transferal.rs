@@ -64,6 +64,9 @@ fn mapping_round(
 ) -> usize {
     // W2 maps W1's page (kernel crossing) and reads the views in place.
     w2.pmap(scratch_page, &[w1_desc]);
+    // SAFETY: the page just mapped at `scratch_page` is W1's SPA-map page
+    // (laid out by `SpaMapRef` writes), and only this thread touches it
+    // while mapped.
     let mapped = unsafe { SpaMapRef::from_raw(w2.page_base(scratch_page)) };
     let mut seen = 0;
     mapped.for_each_valid(|_, _| seen += 1);
@@ -86,6 +89,9 @@ fn main() {
     let mut w2 = TlmmRegion::new(Arc::clone(&arena));
     let w1_desc = arena.palloc();
     w1.pmap(0, &[w1_desc]);
+    // SAFETY: `w1_desc` is a freshly `palloc`ed zeroed page mapped at
+    // slot 0; an all-zero page is a valid empty SPA map, and only this
+    // thread accesses it.
     let private = unsafe { SpaMapRef::from_raw(w1.page_base(0)) };
 
     let view_counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 248];

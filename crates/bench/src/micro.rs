@@ -174,7 +174,8 @@ struct Locations {
     cells: Vec<UnsafeCell<u64>>,
 }
 
-// Only ever written single-threaded (the controls run on one worker).
+// SAFETY: only ever written single-threaded (the controls run on one
+// worker); the parallel phases partition the index space disjointly.
 unsafe impl Sync for Locations {}
 
 impl Locations {
@@ -204,6 +205,8 @@ pub fn run_add_base(workers: usize, reducers: usize, lookups: u64, grain: usize)
             for i in r {
                 // Volatile, like the paper's `volatile` declarations: the
                 // compiler may not cache the location in a register.
+                // SAFETY: `ptr` points into the live cells vector, and
+                // `parallel_for` hands each index to exactly one task.
                 unsafe {
                     let p = locs.ptr(i & mask);
                     std::ptr::write_volatile(p, std::ptr::read_volatile(p) + 1);
@@ -212,6 +215,8 @@ pub fn run_add_base(workers: usize, reducers: usize, lookups: u64, grain: usize)
         });
     });
     let dt = t0.elapsed();
+    // SAFETY: the parallel region is over; this thread is the only one
+    // left touching the cells.
     let total: u64 = locs.cells.iter().map(|c| unsafe { *c.get() }).sum();
     assert_eq!(total, lookups, "add-base-n lost updates");
     dt
@@ -225,12 +230,14 @@ pub fn run_l1(reducers: usize, lookups: u64) -> Duration {
     let x = lookups as usize;
     let t0 = Instant::now();
     for i in 0..x {
+        // SAFETY: single-threaded loop over locally owned cells.
         unsafe {
             let p = locs[i & mask].get();
             std::ptr::write_volatile(p, std::ptr::read_volatile(p) + 1);
         }
     }
     let dt = t0.elapsed();
+    // SAFETY: as above — no other thread exists here.
     let total: u64 = locs.iter().map(|c| unsafe { *c.get() }).sum();
     assert_eq!(total, lookups);
     dt

@@ -1,0 +1,67 @@
+//! [`TraceCell`]: an `UnsafeCell` whose accesses the model race-checks.
+//!
+//! Shared mutable state that real code guards with ad-hoc protocols
+//! (deque slots, latch payloads, map entries) is wrapped in a
+//! `TraceCell` under the `model` feature. Every access reports to the
+//! happens-before race detector; outside a model run the cell is a
+//! plain `UnsafeCell` with zero overhead.
+
+use std::cell::UnsafeCell;
+
+use crate::trace;
+
+/// An `UnsafeCell` with loom-style `with`/`with_mut` access that the
+/// model's race detector observes.
+#[derive(Default)]
+pub struct TraceCell<T: ?Sized> {
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: TraceCell makes no synchronization promises of its own — it
+// exposes raw pointers exactly like `UnsafeCell`, and callers carry the
+// same obligations they would with a bare `UnsafeCell<T>` shared across
+// threads. The `Sync` bound mirrors what those callers already assert
+// via their own `unsafe impl Sync` on containing types; the cell's sole
+// addition is race *detection* under the model.
+unsafe impl<T: ?Sized + Send> Sync for TraceCell<T> {}
+
+impl<T> TraceCell<T> {
+    /// Creates a new cell.
+    pub const fn new(value: T) -> TraceCell<T> {
+        TraceCell {
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the cell, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> TraceCell<T> {
+    /// Runs `f` with a shared raw pointer to the contents, reporting a
+    /// read to the model's race detector.
+    ///
+    /// The pointer must not escape `f`; dereferencing it is subject to
+    /// the usual `UnsafeCell` aliasing rules.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        trace::note_read(self.value.get() as *const () as usize, "TraceCell");
+        f(self.value.get())
+    }
+
+    /// Runs `f` with an exclusive raw pointer to the contents,
+    /// reporting a write to the model's race detector.
+    ///
+    /// The pointer must not escape `f`; the caller must guarantee no
+    /// concurrent access, exactly as for a bare `UnsafeCell`.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        trace::note_write(self.value.get() as *const () as usize, "TraceCell");
+        f(self.value.get())
+    }
+
+    /// Mutable access through an exclusive reference (never racy).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}

@@ -1,0 +1,84 @@
+//! Vector clocks: the happens-before backbone of the checker.
+//!
+//! Every model thread carries a clock with one component per thread;
+//! component `i` counts the visible operations thread `i` has executed.
+//! Event `a` happens-before event `b` exactly when the clock recorded at
+//! `a` is component-wise `<=` the clock of the thread executing `b`.
+
+/// A vector clock over the (few) threads of one model execution.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub(crate) struct VClock {
+    t: Vec<u32>,
+}
+
+impl VClock {
+    /// The component for thread `i` (0 if never touched).
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> u32 {
+        self.t.get(i).copied().unwrap_or(0)
+    }
+
+    fn grow_to(&mut self, i: usize) {
+        if self.t.len() <= i {
+            self.t.resize(i + 1, 0);
+        }
+    }
+
+    /// Advances thread `i`'s own component by one; returns the new value.
+    pub(crate) fn bump(&mut self, i: usize) -> u32 {
+        self.grow_to(i);
+        self.t[i] += 1;
+        self.t[i]
+    }
+
+    /// Component-wise maximum: `self := self ∪ other`.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        self.grow_to(other.t.len().saturating_sub(1));
+        for (i, &v) in other.t.iter().enumerate() {
+            if self.t[i] < v {
+                self.t[i] = v;
+            }
+        }
+    }
+
+    /// Raises component `i` to at least `v`.
+    pub(crate) fn set_at_least(&mut self, i: usize, v: u32) {
+        self.grow_to(i);
+        if self.t[i] < v {
+            self.t[i] = v;
+        }
+    }
+
+    /// Component-wise `<=`: did everything up to `self` happen before a
+    /// thread whose clock is `other`?
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.t.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_le() {
+        let mut a = VClock::default();
+        let mut b = VClock::default();
+        a.bump(0);
+        b.bump(1);
+        assert!(!a.le(&b));
+        b.join(&a);
+        assert!(a.le(&b));
+        assert_eq!(b.get(0), 1);
+        assert_eq!(b.get(1), 1);
+    }
+
+    #[test]
+    fn bump_counts() {
+        let mut a = VClock::default();
+        assert_eq!(a.bump(2), 1);
+        assert_eq!(a.bump(2), 2);
+        assert_eq!(a.get(2), 2);
+        assert_eq!(a.get(0), 0);
+    }
+}

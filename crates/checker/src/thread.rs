@@ -1,0 +1,207 @@
+//! Model-aware threads: spawn/join, park/unpark, `yield_now`.
+//!
+//! Outside a model run these forward to `std::thread`. Inside, spawned
+//! closures run on real OS threads but are scheduled one-at-a-time by
+//! the model, `park` blocks in the model scheduler (timeouts park
+//! forever, turning lost wakeups into detectable deadlocks), and
+//! `unpark` carries the loom/std token semantics plus a happens-before
+//! edge.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as OsMutex};
+use std::time::Duration;
+
+use crate::exec::{self, Exec, ModelAbort};
+
+/// A handle to a thread, usable for [`Thread::unpark`].
+#[derive(Clone)]
+pub struct Thread(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Real(std::thread::Thread),
+    Model { exec: Arc<Exec>, tid: usize },
+}
+
+impl Thread {
+    /// Wakes the thread's next (or current) [`park`] call.
+    pub fn unpark(&self) {
+        match &self.0 {
+            Repr::Real(t) => t.unpark(),
+            Repr::Model { exec, tid } => {
+                let (e, me) =
+                    exec::current().expect("unpark of a model thread from outside its model run");
+                debug_assert!(
+                    Arc::ptr_eq(&e, exec),
+                    "unpark across distinct model executions"
+                );
+                e.op_unpark(me, *tid);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Repr::Real(t) => f.debug_tuple("Thread").field(&t.id()).finish(),
+            Repr::Model { tid, .. } => f.debug_tuple("Thread").field(tid).finish(),
+        }
+    }
+}
+
+/// A handle to the calling thread.
+pub fn current() -> Thread {
+    match exec::current() {
+        None => Thread(Repr::Real(std::thread::current())),
+        Some((exec, tid)) => Thread(Repr::Model { exec, tid }),
+    }
+}
+
+/// Blocks until another thread unparks this one (token semantics as in
+/// `std::thread::park`).
+pub fn park() {
+    match exec::current() {
+        None => std::thread::park(),
+        Some((e, t)) => e.op_park(t),
+    }
+}
+
+/// [`park`] with a timeout. Under the model the timeout never fires:
+/// the thread parks until unparked, so a protocol that *relies* on the
+/// timeout (a lost wakeup) deadlocks visibly instead of limping along.
+pub fn park_timeout(dur: Duration) {
+    match exec::current() {
+        None => std::thread::park_timeout(dur),
+        Some((e, t)) => e.op_park(t),
+    }
+}
+
+/// Cooperatively gives up the scheduling baton. Under the model the
+/// caller is also deprioritized until other runnable threads have
+/// moved, which keeps spin-wait loops from exploding the schedule tree.
+pub fn yield_now() {
+    match exec::current() {
+        None => std::thread::yield_now(),
+        Some((e, t)) => e.op_yield(t),
+    }
+}
+
+/// Owned permission to join on a thread.
+pub struct JoinHandle<T>(HandleRepr<T>);
+
+enum HandleRepr<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Exec>,
+        tid: usize,
+        slot: Arc<OsMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// A [`Thread`] handle for the spawned thread.
+    pub fn thread(&self) -> Thread {
+        match &self.0 {
+            HandleRepr::Real(h) => Thread(Repr::Real(h.thread().clone())),
+            HandleRepr::Model { exec, tid, .. } => Thread(Repr::Model {
+                exec: exec.clone(),
+                tid: *tid,
+            }),
+        }
+    }
+
+    /// Waits for the thread to finish and returns its result. Under the
+    /// model, a panicking child aborts the whole execution before join
+    /// returns, so the model arm only ever yields `Ok`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            HandleRepr::Real(h) => h.join(),
+            HandleRepr::Model { tid, slot, .. } => {
+                let (e, me) =
+                    exec::current().expect("join of a model thread from outside its model run");
+                e.op_join(me, tid);
+                let v = slot
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take()
+                    .expect("model thread finished without storing a result");
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Under the model the closure runs on a real OS
+/// thread but only when the model scheduler hands it the baton.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_with(None, None, f)
+}
+
+/// [`spawn`] with an optional thread name and stack size. Outside a
+/// model run both are applied via `std::thread::Builder`; inside, the
+/// name is advisory (model threads are named by their model id) and the
+/// stack size is ignored — model tests exercise protocols, not deep
+/// recursion.
+pub fn spawn_with<F, T>(name: Option<String>, stack_size: Option<usize>, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match exec::current() {
+        None => {
+            let mut b = std::thread::Builder::new();
+            if let Some(n) = name {
+                b = b.name(n);
+            }
+            if let Some(s) = stack_size {
+                b = b.stack_size(s);
+            }
+            JoinHandle(HandleRepr::Real(
+                b.spawn(f).expect("failed to spawn thread"),
+            ))
+        }
+        Some((e, parent_tid)) => {
+            let child = e.op_spawn(parent_tid);
+            let slot: Arc<OsMutex<Option<T>>> = Arc::new(OsMutex::new(None));
+            let e2 = e.clone();
+            let slot2 = slot.clone();
+            let os = std::thread::Builder::new()
+                .name(format!("model-{child}"))
+                .spawn(move || {
+                    exec::set_current(Some((e2.clone(), child)));
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                        e2.wait_for_turn(child);
+                        f()
+                    }));
+                    exec::set_current(None);
+                    match result {
+                        Ok(v) => {
+                            *slot2.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+                            e2.finish_thread(child, None);
+                        }
+                        Err(p) => {
+                            if p.downcast_ref::<ModelAbort>().is_some() {
+                                // Execution already failed elsewhere; the
+                                // failure is recorded — just exit the OS
+                                // thread quietly.
+                            } else {
+                                e2.finish_thread(child, Some(exec::payload_msg(p.as_ref())));
+                            }
+                        }
+                    }
+                })
+                .expect("failed to spawn model OS thread");
+            e.push_os_handle(os);
+            JoinHandle(HandleRepr::Model {
+                exec: e,
+                tid: child,
+                slot,
+            })
+        }
+    }
+}

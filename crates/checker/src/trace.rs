@@ -1,0 +1,29 @@
+//! Manual race-detector hooks for plain (non-atomic) memory.
+//!
+//! Code that hands out raw pointers into shared structures (the SPA map
+//! accessors, the mmap lookup fast path) calls [`note_read`] /
+//! [`note_write`] with the address it is about to touch. Outside a
+//! model run both are no-ops (and compile to nothing once inlined), so
+//! the instrumented crates pay nothing in normal builds even with their
+//! `model` feature enabled.
+
+use crate::exec;
+
+/// Reports a plain read of `addr` to the model's happens-before race
+/// detector. `what` names the structure for diagnostics. No-op outside
+/// a model run.
+#[inline]
+pub fn note_read(addr: usize, what: &str) {
+    if let Some((e, t)) = exec::current() {
+        e.op_plain_read(t, addr, what);
+    }
+}
+
+/// Reports a plain write of `addr` to the model's happens-before race
+/// detector. No-op outside a model run.
+#[inline]
+pub fn note_write(addr: usize, what: &str) {
+    if let Some((e, t)) = exec::current() {
+        e.op_plain_write(t, addr, what);
+    }
+}

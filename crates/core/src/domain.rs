@@ -62,7 +62,12 @@ pub struct DomainInner {
     public_pool: Mutex<Vec<SpaMapBox>>,
 }
 
+// SAFETY: the only non-auto-Send field is the public SPA-map pool, whose
+// raw page pointers are plain heap memory owned by the pooled boxes and
+// untouched while they sit in the (mutex-guarded) pool.
 unsafe impl Send for DomainInner {}
+// SAFETY: every field is either atomic or behind a `Mutex`; the raw
+// pointers in the pool are only reachable through those locks.
 unsafe impl Sync for DomainInner {}
 
 impl DomainInner {
@@ -311,6 +316,8 @@ mod tests {
         let e = d.leftmost_entry(s).unwrap();
         assert_eq!(e.view, view);
         let e = d.unregister_leftmost(s).unwrap();
+        // SAFETY: the view was `Box::into_raw`ed above and unregistering
+        // returned the sole remaining pointer to it.
         unsafe { drop(Box::from_raw(e.view as *mut u64)) };
         assert_eq!(d.live_reducers(), 0);
         assert!(d.leftmost_entry(s).is_none());

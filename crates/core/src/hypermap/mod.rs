@@ -42,9 +42,11 @@ pub struct HypermapWorkerState {
     last: Cell<(u64, *mut u8)>,
 }
 
-// The state is owned by exactly one worker at a time and handed between
-// threads only while quiescent (it travels as `Box<dyn Any + Send>`); the
-// raw view pointer in the lookup cache is never dereferenced off-worker.
+// SAFETY: the state is owned by exactly one worker at a time and handed
+// between threads only while quiescent (it travels as
+// `Box<dyn Any + Send>`); the raw view pointer in the lookup cache is
+// never dereferenced off-worker, and the views it owns are `M::View:
+// Send` behind their type-erased pointers.
 unsafe impl Send for HypermapWorkerState {}
 
 thread_local! {
@@ -76,6 +78,10 @@ impl Drop for HypermapWorkerState {
         HYPERMAP_TLS.with(|c| c.set(std::ptr::null_mut()));
         // Any leftover views (a panicked region) are destroyed, not leaked.
         for (_, _, pair) in self.current.drain() {
+            // SAFETY: every pair in this context's hypermap stores the
+            // erased address of the live `MonoidInstance` that created
+            // `pair.view`, and draining removes the pair so the view is
+            // dropped exactly once.
             unsafe { MonoidInstance::from_erased(pair.monoid).drop_view(pair.view) };
         }
     }
@@ -101,6 +107,9 @@ pub(crate) fn lookup(slot: Slot, inst: &MonoidInstance, domain: &DomainInner) ->
     }
     // The hash key is the reducer's address (§3), as in Cilk Plus.
     let key = inst.as_erased() as u64;
+    // SAFETY: the TLS pointer is installed by `install_tls` for the
+    // worker's lifetime and only this thread dereferences it; no `&mut`
+    // overlaps because lookups never reenter the scheduler.
     unsafe {
         let st = &*ptr;
         assert!(
@@ -134,6 +143,9 @@ fn lookup_miss(
     domain: &DomainInner,
     ptr: *mut HypermapWorkerState,
 ) -> Option<*mut u8> {
+    // SAFETY: `ptr` is the caller's live TLS state; the borrow is
+    // re-derived after the user `identity()` call rather than held
+    // across it, so no aliasing `&mut` can exist.
     unsafe {
         // Create an identity view (user code — no state borrow held).
         let t0 = std::time::Instant::now();
@@ -171,6 +183,8 @@ pub(crate) fn remove_current(key: u64, domain: &DomainInner) -> Option<*mut u8> 
     if ptr.is_null() {
         return None;
     }
+    // SAFETY: as in `lookup` — thread-local state, no live borrows, and
+    // no user code runs inside the block.
     unsafe {
         let st = &mut *ptr;
         assert!(std::ptr::eq(Arc::as_ptr(&st.domain), domain));
@@ -248,10 +262,15 @@ impl HyperHooks for HypermapHooks {
             .downcast_mut::<HypermapWorkerState>()
             .expect("hypermap state");
         let mut right = right.downcast::<HyperMap>().expect("hypermap views");
+        // SAFETY: `st` came from the exclusive `&mut dyn Any` above; the
+        // raw-pointer hop only shortens the borrow, per the comment.
         unsafe { (*st).forget_last() };
         let t0 = crate::instrument::thread_time_ns();
         self.ins().merges.fetch_add(1, Ordering::Relaxed);
 
+        // SAFETY: `st` is exclusively ours (see above); every `&mut` is
+        // re-derived between `reduce_into` calls so user reduce code may
+        // itself perform lookups through the TLS pointer.
         unsafe {
             let left_len = (*st).current.len();
             if right.len() <= left_len {
@@ -296,6 +315,8 @@ impl HyperHooks for HypermapHooks {
         let st: *mut HypermapWorkerState = state
             .downcast_mut::<HypermapWorkerState>()
             .expect("hypermap state");
+        // SAFETY: exclusive access via the `&mut dyn Any` argument; the
+        // fold callbacks run domain code, not user monoid code.
         unsafe {
             (*st).flush_lookups();
             (*st).forget_last();
@@ -309,6 +330,9 @@ impl HyperHooks for HypermapHooks {
     fn discard(&self, views: DetachedViews) {
         let mut map = *views.downcast::<HyperMap>().expect("hypermap views");
         for (_, _, pair) in map.drain() {
+            // SAFETY: each drained pair stores the erased address of the
+            // live instance that created its view; draining drops each
+            // view exactly once.
             unsafe { MonoidInstance::from_erased(pair.monoid).drop_view(pair.view) };
         }
     }

@@ -27,7 +27,9 @@ pub struct HyperMap {
     len: usize,
 }
 
-// Raw view pointers travel with their owning context.
+// SAFETY: the raw view pointers stored in the buckets travel with their
+// owning context (one thread at a time) and point at `M::View: Send`
+// values, so moving the whole table between threads is sound.
 unsafe impl Send for HyperMap {}
 
 const INITIAL_BUCKETS: usize = 8;

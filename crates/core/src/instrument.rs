@@ -108,7 +108,7 @@ impl Instrument {
 /// wall-clock window spanning a preemption would charge a whole
 /// scheduling quantum (milliseconds) to a microsecond-scale operation.
 /// The paper's testbed had 16 real cores, where the two are equivalent.
-#[cfg(unix)]
+#[cfg(all(unix, not(miri)))]
 pub fn thread_time_ns() -> u64 {
     let mut ts = libc::timespec {
         tv_sec: 0,
@@ -119,8 +119,9 @@ pub fn thread_time_ns() -> u64 {
     ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
 }
 
-/// Per-thread CPU time (non-unix fallback: monotonic wall time).
-#[cfg(not(unix))]
+/// Per-thread CPU time (non-unix and Miri fallback: monotonic wall
+/// time — Miri has no thread-CPU-time clock shim).
+#[cfg(any(not(unix), miri))]
 pub fn thread_time_ns() -> u64 {
     use std::time::Instant;
     static START: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();

@@ -56,6 +56,9 @@ pub mod reducer;
 
 mod domain;
 
+#[cfg(all(test, feature = "model"))]
+mod model_tests;
+
 pub use domain::{Backend, DomainInner, ReducerPool};
 pub use instrument::{InstrumentSnapshot, ReduceBreakdown};
 pub use monoid::Monoid;

@@ -174,6 +174,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS worker threads")]
     fn parallel_xor_checksums_match_serial() {
         let values: Vec<u64> = (0..50_000u64)
             .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))

@@ -115,6 +115,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS worker threads")]
     fn parallel_argmin_argmax_match_serial_scan() {
         let values: Vec<u32> = (0..30_000u64)
             .map(|i| (i.wrapping_mul(2654435761) % 1_000_003) as u32)

@@ -443,6 +443,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS worker threads")]
     fn parallel_min_max_find_extremes() {
         for backend in [Backend::Hypermap, Backend::Mmap] {
             let pool = ReducerPool::new(2, backend);
@@ -463,6 +464,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS worker threads")]
     fn parallel_list_append_is_serial_order() {
         // The non-commutative stress: result must equal serial order.
         for backend in [Backend::Hypermap, Backend::Mmap] {
@@ -482,6 +484,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS worker threads")]
     fn parallel_string_concat_is_serial_order() {
         for backend in [Backend::Hypermap, Backend::Mmap] {
             let pool = ReducerPool::new(4, backend);

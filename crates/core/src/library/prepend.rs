@@ -65,6 +65,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS worker threads")]
     fn parallel_prepend_equals_reversed_serial_order() {
         for backend in [Backend::Hypermap, Backend::Mmap] {
             let pool = ReducerPool::new(4, backend);

@@ -86,9 +86,10 @@ impl LastLookup {
     };
 }
 
-// The state is owned by exactly one worker at a time and handed between
-// threads only while quiescent (it travels as `Box<dyn Any + Send>`); the
-// raw pointers in the lookup cache are never dereferenced off-worker.
+// SAFETY: the state is owned by exactly one worker at a time and handed
+// between threads only while quiescent (it travels as
+// `Box<dyn Any + Send>`); the raw pointers in the lookup cache are never
+// dereferenced off-worker.
 unsafe impl Send for MmapWorkerState {}
 
 /// The thread-local fast-path descriptor: a snapshot of the worker's
@@ -118,6 +119,8 @@ thread_local! {
 
 /// Refreshes the TLS snapshot after any change to the page table.
 fn publish_tls(state: *mut MmapWorkerState) {
+    // SAFETY: callers pass their own live worker state; only the fields'
+    // addresses are snapshotted, no long-lived reference escapes.
     unsafe {
         let st = &*state;
         MMAP_TLS.with(|c| {
@@ -149,6 +152,8 @@ struct MmapSuspended {
     views: usize,
 }
 
+// SAFETY: the suspended pages travel with their (quiescent) owning
+// context exactly like `MmapWorkerState` itself.
 unsafe impl Send for MmapSuspended {}
 
 impl MmapDetached {
@@ -198,6 +203,8 @@ impl MmapWorkerState {
             let base = self.region.arena().page_base(pd);
             debug_assert_eq!(base, self.region.page_base(first_new + i));
             // Fresh and recycled pages are zeroed: valid empty SPA maps.
+            // SAFETY: `base` is the just-mapped arena page, zeroed (an
+            // empty map layout) and private to this worker.
             self.pages.push(unsafe { SpaMapRef::from_raw(base) });
             self.descs.push(pd);
         }
@@ -229,6 +236,9 @@ impl Drop for MmapWorkerState {
         MMAP_TLS.with(|c| c.set(MmapTls::NULL));
         // Destroy any leftover views (possible after a panicked region).
         for page in &self.pages {
+            // SAFETY: surviving pairs store the erased address of the
+            // live instance that created their views; drain visits each
+            // exactly once.
             page.drain(|_, pair| unsafe {
                 MonoidInstance::from_erased(pair.monoid).drop_view(pair.view);
             });
@@ -273,6 +283,9 @@ pub(crate) fn lookup(
     if tls.state.is_null() {
         return None;
     }
+    // SAFETY: the TLS snapshot points at this worker's live state and
+    // page array; only shared reads happen on the fast path, and the
+    // slot pointer dereference stays inside the mapped SPA page.
     unsafe {
         let st = &*tls.state;
         if crate::instrument::COUNT_LOOKUPS {
@@ -290,8 +303,13 @@ pub(crate) fn lookup(
         );
         if page < tls.len {
             // The fast path the paper counts: dereference the slot's
-            // private SPA element and test the view pointer.
-            let view = (*(*tls.pages.add(page)).slot_ptr(idx)).view;
+            // private SPA element and test the view pointer. This read
+            // bypasses the SpaMapRef accessors, so record it for the
+            // model checker explicitly (same whole-map granularity).
+            let map = *tls.pages.add(page);
+            #[cfg(feature = "model")]
+            cilkm_checker::trace::note_read(map.slot_ptr(0) as usize, "SpaMap");
+            let view = (*map.slot_ptr(idx)).view;
             if !view.is_null() {
                 st.last.set(LastLookup {
                     domain,
@@ -318,6 +336,9 @@ fn lookup_miss(
     domain: &DomainInner,
     ptr: *mut MmapWorkerState,
 ) -> Option<*mut u8> {
+    // SAFETY: `ptr` is the caller's live TLS state; `&mut`s are
+    // re-derived around the user `identity()` call, never held across
+    // it.
     unsafe {
         (*ptr).ensure_page(page);
 
@@ -367,6 +388,8 @@ pub(crate) fn remove_current(slot: Slot, domain: &DomainInner) -> Option<*mut u8
     }
     let page = slot as usize / VIEWS_PER_MAP;
     let idx = slot as usize % VIEWS_PER_MAP;
+    // SAFETY: thread-local state of the calling worker; no user code
+    // runs inside the block, so the `&mut` cannot alias.
     unsafe {
         let st = &mut *tls.state;
         assert!(std::ptr::eq(Arc::as_ptr(&st.domain), domain));
@@ -475,11 +498,16 @@ impl HyperHooks for MmapHooks {
         // the state may be live across them.
         let st: *mut MmapWorkerState = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
         let det = *right.downcast::<MmapDetached>().expect("mmap views");
+        // SAFETY: `st` came from the exclusive `&mut dyn Any` above; the
+        // raw-pointer hop only shortens the borrow, per the comment.
         unsafe { (*st).forget_last() };
         let t0 = crate::instrument::thread_time_ns();
         self.ins().merges.fetch_add(1, Ordering::Relaxed);
         let mut pairs_reduced = 0u64;
 
+        // SAFETY: `st` is exclusively ours (see above); every `&mut` is
+        // re-derived between `reduce_into` calls so user reduce code may
+        // itself perform lookups through MMAP_TLS.
         unsafe {
             let left_count = (*st).current_views;
             if det.count <= left_count {
@@ -567,6 +595,8 @@ impl HyperHooks for MmapHooks {
 
     fn collect_root(&self, state: &mut dyn Any) {
         let st: *mut MmapWorkerState = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
+        // SAFETY: exclusive access via the `&mut dyn Any` argument; the
+        // fold callbacks run domain code, not user monoid code.
         unsafe {
             (*st).flush_lookups();
             (*st).forget_last();
@@ -589,6 +619,8 @@ impl HyperHooks for MmapHooks {
     fn discard(&self, views: DetachedViews) {
         let det = *views.downcast::<MmapDetached>().expect("mmap views");
         for (_, public) in det.maps {
+            // SAFETY: each pair stores the erased address of the live
+            // instance that created its view; drain drops each once.
             public.as_ref().drain(|_, pair| unsafe {
                 MonoidInstance::from_erased(pair.monoid).drop_view(pair.view);
             });

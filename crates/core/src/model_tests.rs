@@ -1,0 +1,143 @@
+//! Model-checked reducer-protocol tests (run with `--features model`).
+//!
+//! These drive the memory-mapped backend's hooks the way the scheduler
+//! does around a steal — detach on the thief, deposit, hypermerge at the
+//! join — under `cilkm_checker::model`, which explores every bounded
+//! interleaving and every allowed weak-memory read. The SPA-map raw
+//! accessors are trace-instrumented under this feature, so a missing
+//! happens-before edge anywhere in the handoff chain would surface as a
+//! data-race report, and a protocol bug as an assertion failure in some
+//! schedule.
+
+use std::sync::Arc;
+
+use cilkm_checker as checker;
+use cilkm_runtime::{DetachedViews, HyperHooks};
+
+use crate::domain::Backend;
+use crate::domain::DomainInner;
+use crate::mmap::{lookup, MmapHooks};
+use crate::monoid::{Monoid, MonoidInstance};
+
+/// String concatenation: associative, *not* commutative — the stress
+/// case for the hypermerge's serial-order discipline.
+struct Concat;
+
+impl Monoid for Concat {
+    type View = String;
+    fn identity(&self) -> String {
+        String::new()
+    }
+    fn reduce(&self, left: &mut String, right: String) {
+        left.push_str(&right);
+    }
+}
+
+/// Appends `s` to the view of reducer slot (`page`, `idx`) in the
+/// calling thread's current context, creating the view on first touch
+/// exactly as a real reducer access would.
+fn append(page: usize, idx: usize, inst: &MonoidInstance, domain: &DomainInner, s: &str) {
+    let view = lookup(page, idx, inst, domain).expect("calling thread has no worker state");
+    // SAFETY: `lookup` returned a live boxed `Concat::View` created by
+    // this monoid instance, and this thread owns the current context.
+    unsafe { (*(view as *mut String)).push_str(s) };
+}
+
+/// Reads the view of slot (`page`, `idx`) in the current context.
+fn read(page: usize, idx: usize, inst: &MonoidInstance, domain: &DomainInner) -> String {
+    let view = lookup(page, idx, inst, domain).expect("calling thread has no worker state");
+    // SAFETY: as in `append`.
+    unsafe { (*(view as *mut String)).clone() }
+}
+
+/// View transferal + hypermerge across a simulated steal: the thief
+/// builds the serially-*later* view, detaches, and deposits; the owner
+/// builds the serially-earlier view and merges at the join. Under every
+/// schedule the merged view must be exactly "LR" — left-to-right monoid
+/// order, nothing dropped, nothing reduced twice.
+#[test]
+fn hypermerge_is_left_to_right_and_exact() {
+    checker::model(|| {
+        let domain = Arc::new(DomainInner::new(Backend::Mmap));
+        let monoid = Arc::new(Concat);
+        // One shared instance, as in a real `Reducer`: its address is
+        // what SPA pairs store, so it must outlive every in-flight view.
+        let inst = Arc::new(MonoidInstance::new(&monoid));
+        let deposit: Arc<checker::sync::Mutex<Option<DetachedViews>>> =
+            Arc::new(checker::sync::Mutex::new(None));
+
+        let (d2, m2, i2, dep2) = (
+            Arc::clone(&domain),
+            Arc::clone(&monoid),
+            Arc::clone(&inst),
+            Arc::clone(&deposit),
+        );
+        let thief = checker::thread::spawn(move || {
+            let _keep_alive = m2;
+            let hooks = MmapHooks::new(Arc::clone(&d2));
+            let mut state = hooks.make_worker_state(1);
+            append(0, 7, &i2, &d2, "R");
+            let det = hooks.detach(state.as_mut());
+            *dep2.lock() = Some(det);
+        });
+
+        let hooks = MmapHooks::new(Arc::clone(&domain));
+        let mut state = hooks.make_worker_state(0);
+        append(0, 7, &inst, &domain, "L");
+        let det = loop {
+            if let Some(d) = deposit.lock().take() {
+                break d;
+            }
+            checker::thread::yield_now();
+        };
+        hooks.merge_right(state.as_mut(), det);
+        thief.join().unwrap();
+        assert_eq!(read(0, 7, &inst, &domain), "LR");
+        // `state` drops here and drains the merged view.
+    });
+}
+
+/// Transferal into an *empty* owner context (right set bigger than left)
+/// takes the sweep-left-into-right path: every view must arrive exactly
+/// once, at its own slot, unreduced.
+#[test]
+fn transferal_delivers_each_view_exactly_once() {
+    checker::model(|| {
+        let domain = Arc::new(DomainInner::new(Backend::Mmap));
+        let monoid = Arc::new(Concat);
+        let inst = Arc::new(MonoidInstance::new(&monoid));
+        let deposit: Arc<checker::sync::Mutex<Option<DetachedViews>>> =
+            Arc::new(checker::sync::Mutex::new(None));
+
+        let (d2, m2, i2, dep2) = (
+            Arc::clone(&domain),
+            Arc::clone(&monoid),
+            Arc::clone(&inst),
+            Arc::clone(&deposit),
+        );
+        let thief = checker::thread::spawn(move || {
+            let _keep_alive = m2;
+            let hooks = MmapHooks::new(Arc::clone(&d2));
+            let mut state = hooks.make_worker_state(1);
+            append(0, 0, &i2, &d2, "A");
+            append(0, 9, &i2, &d2, "B");
+            let det = hooks.detach(state.as_mut());
+            *dep2.lock() = Some(det);
+        });
+
+        let hooks = MmapHooks::new(Arc::clone(&domain));
+        let mut state = hooks.make_worker_state(0);
+        let det = loop {
+            if let Some(d) = deposit.lock().take() {
+                break d;
+            }
+            checker::thread::yield_now();
+        };
+        hooks.merge_right(state.as_mut(), det);
+        thief.join().unwrap();
+        // Each view present exactly once: a dropped view would read "",
+        // a double merge "AA"/"BB".
+        assert_eq!(read(0, 0, &inst, &domain), "A");
+        assert_eq!(read(0, 9, &inst, &domain), "B");
+    });
+}

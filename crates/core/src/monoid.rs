@@ -84,7 +84,13 @@ pub struct MonoidInstance {
     data: *const (),
 }
 
+// SAFETY: `data` points at an `M` kept alive by the reducer's `Arc`
+// (see `new`), and the vtable shims only ever form an `&M` from it, so
+// the instance can move between threads.
 unsafe impl Send for MonoidInstance {}
+// SAFETY: all vtable shims take `data` as a shared `&M`, and `Monoid`
+// methods take `&self`, so concurrent use from several threads performs
+// only shared access to the monoid.
 unsafe impl Sync for MonoidInstance {}
 
 impl MonoidInstance {
@@ -167,6 +173,8 @@ mod tests {
     fn erased_identity_reduce_drop_roundtrip() {
         let m = Arc::new(Concat);
         let inst = MonoidInstance::new(&m);
+        // SAFETY: the views come from this instance's `identity` and are
+        // consumed exactly once (`right` by reduce, `left` by drop).
         unsafe {
             let left = inst.identity();
             let right = inst.identity();
@@ -183,6 +191,7 @@ mod tests {
         let m = Arc::new(Concat);
         let inst = MonoidInstance::new(&m);
         let erased = inst.as_erased();
+        // SAFETY: `erased` is the address of the still-live `inst`.
         let back = unsafe { MonoidInstance::from_erased(erased) };
         assert!(std::ptr::eq(back, &inst));
     }

@@ -37,7 +37,13 @@ struct ReducerInner<M: Monoid> {
     consumed: AtomicBool,
 }
 
+// SAFETY: `instance` is Send/Sync (above), `monoid` is only ever used
+// through `&M` by the vtable shims, and the leftmost view lives in the
+// domain's tables, so the owner thread can change.
 unsafe impl<M: Monoid> Send for ReducerInner<M> {}
+// SAFETY: cross-thread access during a parallel region goes through the
+// per-context views (never the same view from two threads), and serial
+// access to the leftmost view is excluded by `serial_flag`.
 unsafe impl<M: Monoid> Sync for ReducerInner<M> {}
 
 /// A reducer hyperobject over monoid `M`.
@@ -129,6 +135,8 @@ impl<M: Monoid> Reducer<M> {
             Backend::Hypermap => hypermap::lookup(inner.slot, &inner.instance, &inner.domain),
         };
         match view {
+            // SAFETY: the backend returned this context's live view for
+            // our slot, and only the current thread touches it.
             Some(v) => unsafe { Self::apply(v, f) },
             None => self.update_serial(f),
         }
@@ -176,6 +184,8 @@ impl<M: Monoid> Reducer<M> {
             .domain
             .leftmost_entry(inner.slot)
             .expect("reducer already consumed");
+        // SAFETY: the serial borrow excludes concurrent serial access,
+        // and the leftmost view is live until unregistered.
         unsafe { Self::apply(entry.view, f) }
     }
 
@@ -191,6 +201,9 @@ impl<M: Monoid> Reducer<M> {
             }
         };
         if let Some(v) = view {
+            // SAFETY: `v` was removed from the current context (sole
+            // owner now), and the caller holds the serial borrow as the
+            // function contract requires.
             unsafe { inner.domain.fold_into_leftmost_unguarded(inner.slot, v) };
         }
     }
@@ -205,6 +218,8 @@ impl<M: Monoid> Reducer<M> {
             .domain
             .leftmost_entry(inner.slot)
             .expect("reducer already consumed");
+        // SAFETY: the leftmost view is a live `M::View` created by this
+        // reducer, and the serial borrow excludes concurrent mutation.
         unsafe { f(&*(entry.view as *const M::View)) }
     }
 
@@ -225,6 +240,9 @@ impl<M: Monoid> Reducer<M> {
         self.fold_current();
         let fresh = Box::into_raw(Box::new(inner.monoid.identity())) as *mut u8;
         let old = inner.domain.swap_leftmost_view(inner.slot, fresh);
+        // SAFETY: `old` is the previous leftmost view — a
+        // `Box<M::View>` this reducer created — and the swap removed the
+        // only other pointer to it.
         unsafe { *Box::from_raw(old as *mut M::View) }
     }
 
@@ -245,10 +263,13 @@ impl<M: Monoid> Reducer<M> {
             }
         };
         if let Some(v) = ctx {
+            // SAFETY: removal made us the sole owner of this boxed view.
             unsafe { drop(Box::from_raw(v as *mut M::View)) };
         }
         let fresh = Box::into_raw(Box::new(value)) as *mut u8;
         let old = inner.domain.swap_leftmost_view(inner.slot, fresh);
+        // SAFETY: as in `take` — the swap yields sole ownership of the
+        // old boxed view.
         unsafe { drop(Box::from_raw(old as *mut M::View)) };
     }
 
@@ -264,6 +285,8 @@ impl<M: Monoid> Reducer<M> {
             .domain
             .unregister_leftmost(inner.slot)
             .expect("reducer already consumed");
+        // SAFETY: unregistering returned the sole pointer to the boxed
+        // leftmost view; `consumed` stops any later double-free.
         unsafe { *Box::from_raw(entry.view as *mut M::View) }
     }
 }
@@ -281,9 +304,12 @@ impl<M: Monoid> Drop for ReducerInner<M> {
                 }
             };
             if let Some(v) = ctx_view {
+                // SAFETY: removal made us the sole owner of the view.
                 unsafe { drop(Box::from_raw(v as *mut M::View)) };
             }
             if let Some(entry) = self.domain.unregister_leftmost(self.slot) {
+                // SAFETY: unregistering returned the sole pointer to the
+                // boxed leftmost view.
                 unsafe { drop(Box::from_raw(entry.view as *mut M::View)) };
             }
         }

@@ -8,6 +8,7 @@ use cilkm_runtime::{join, parallel_for};
 use cilkm_tlmm::stats;
 
 #[test]
+#[cfg_attr(miri, ignore = "spawns OS worker threads")]
 fn mmap_backend_performs_pmaps_and_pallocs() {
     let before = stats::snapshot();
     let pool = ReducerPool::new(2, Backend::Mmap);
@@ -26,6 +27,7 @@ fn mmap_backend_performs_pmaps_and_pallocs() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "spawns OS worker threads")]
 fn hypermap_backend_touches_no_tlmm() {
     // Serial region only: steals could not occur, but more importantly
     // the hypermap backend must never use the TLMM substrate at all.
@@ -44,6 +46,7 @@ fn hypermap_backend_touches_no_tlmm() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "spawns OS worker threads")]
 fn spa_log_overflow_happens_in_vivo_past_120_reducers() {
     // More than LOG_CAPACITY (120) reducers live on one private page:
     // a context that touches them all overflows its SPA log. The final
@@ -71,6 +74,7 @@ fn spa_log_overflow_happens_in_vivo_past_120_reducers() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "spawns OS worker threads")]
 fn deep_leapfrogging_preserves_suspended_views() {
     // A worker waiting at a join executes other stolen work
     // (leapfrogging); its suspended context's views must come back
@@ -109,6 +113,7 @@ fn deep_leapfrogging_preserves_suspended_views() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "spawns OS worker threads")]
 fn set_replaces_and_discards() {
     for backend in [Backend::Hypermap, Backend::Mmap] {
         let pool = ReducerPool::new(2, backend);
@@ -130,6 +135,7 @@ fn set_replaces_and_discards() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "spawns OS worker threads")]
 fn set_mid_region_at_serial_point() {
     for backend in [Backend::Hypermap, Backend::Mmap] {
         let pool = ReducerPool::new(2, backend);
@@ -153,6 +159,7 @@ fn set_mid_region_at_serial_point() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore = "spawns OS worker threads")]
 fn arena_pages_are_reclaimed_when_pool_drops() {
     let pool = ReducerPool::new(4, Backend::Mmap);
     let arena = std::sync::Arc::clone(pool.domain().arena_handle());

@@ -16,10 +16,10 @@
 //! waste is bounded by 2× the peak buffer size).
 
 use std::ptr;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::msync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use crate::msync::Mutex;
 
 /// A geometrically grown ring buffer of job slots.
 struct Buffer {
@@ -64,11 +64,20 @@ struct Shared {
     retired: Mutex<Vec<*mut Buffer>>,
 }
 
+// SAFETY: `top`/`bottom`/`buffer` are atomics, and the retired-buffer
+// list is mutex-guarded; the buffer pointers are heap allocations owned
+// by this deque.
 unsafe impl Send for Shared {}
+// SAFETY: concurrent slot access follows the Chase-Lev protocol — the
+// owner operates on `bottom`, thieves claim elements by CAS on `top` —
+// so no slot is handed to two threads.
 unsafe impl Sync for Shared {}
 
 impl Drop for Shared {
     fn drop(&mut self) {
+        // SAFETY: `&mut self` means no worker or stealer is live; the
+        // current and retired buffers were all created by
+        // `Box::into_raw` in `grow` and each is freed exactly once here.
         unsafe {
             drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
             for b in self.retired.get_mut().drain(..) {
@@ -101,8 +110,14 @@ pub struct DequeStealer {
     shared: Arc<Shared>,
 }
 
+// SAFETY: the owner is a unique handle (not Clone); moving it moves the
+// bottom end of the protocol wholesale to another thread.
 unsafe impl Send for DequeOwner {}
+// SAFETY: stealers only touch `top` (by CAS) and read slots they have
+// claimed; `Shared` is Sync, so handles may move freely.
 unsafe impl Send for DequeStealer {}
+// SAFETY: as for `Send` — all stealer operations are already designed
+// for concurrent use from many threads.
 unsafe impl Sync for DequeStealer {}
 
 /// Creates a new deque, returning the owner and a stealer handle.
@@ -128,6 +143,8 @@ impl DequeOwner {
         let s = &*self.shared;
         let b = s.bottom.load(Ordering::Relaxed);
         let t = s.top.load(Ordering::Acquire);
+        // SAFETY: only the owner replaces `buffer`, and replaced buffers
+        // are retired, not freed, so the pointer is always live here.
         let mut buf = unsafe { &*s.buffer.load(Ordering::Relaxed) };
         if b - t >= buf.cap() as isize {
             buf = self.grow(b, t);
@@ -141,6 +158,8 @@ impl DequeOwner {
     pub fn pop(&self) -> Option<*mut ()> {
         let s = &*self.shared;
         let b = s.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: as in `push` — owner-only replacement plus retirement
+        // keep the buffer pointer valid.
         let buf = unsafe { &*s.buffer.load(Ordering::Relaxed) };
         s.bottom.store(b, Ordering::Relaxed);
         fence(Ordering::SeqCst);
@@ -189,6 +208,8 @@ impl DequeOwner {
     fn grow(&self, b: isize, t: isize) -> &Buffer {
         let s = &*self.shared;
         let old_ptr = s.buffer.load(Ordering::Relaxed);
+        // SAFETY: `grow` is owner-only, and the owner is the only writer
+        // of `buffer`, so `old_ptr` is the live current buffer.
         let old = unsafe { &*old_ptr };
         let new = Buffer::new(old.cap() * 2);
         for i in t..b {
@@ -198,6 +219,8 @@ impl DequeOwner {
         s.buffer.store(new_ptr, Ordering::Release);
         // A thief may still be reading `old`; retire it instead of freeing.
         s.retired.lock().push(old_ptr);
+        // SAFETY: `new_ptr` came from `Box::into_raw` two lines up and
+        // is freed only when the deque drops.
         unsafe { &*new_ptr }
     }
 }
@@ -212,6 +235,8 @@ impl DequeStealer {
         if t < b {
             // Non-empty: read the element *before* claiming it; the claim
             // (CAS on top) validates that the owner has not raced past us.
+            // SAFETY: buffers are retired (never freed) while stealers
+            // exist, so the loaded pointer is live even if stale.
             let buf = unsafe { &*s.buffer.load(Ordering::Acquire) };
             let item = buf.get(t);
             if s.top

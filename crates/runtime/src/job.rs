@@ -37,6 +37,9 @@ pub struct JobRef {
     ptr: *const JobHeader,
 }
 
+// SAFETY: a `JobRef` only carries the address of a pinned `JobHeader`;
+// whichever thread claims it calls `execute` at most once, and the
+// pointee outlives execution (see the struct docs).
 unsafe impl Send for JobRef {}
 
 impl JobRef {
@@ -150,6 +153,8 @@ where
 
     /// The type-erased reference to push on the deque.
     pub fn as_job_ref(&self) -> JobRef {
+        // SAFETY: a stack job is pinned by its owner, which waits on the
+        // latch before returning (see the struct docs).
         unsafe { JobRef::new(self) }
     }
 
@@ -217,8 +222,9 @@ where
     }
 }
 
-// The frame is shared with at most one other thread (the thief), and the
-// protocol (deque + latch) serializes all access.
+// SAFETY: the frame is shared with at most one other thread (the
+// thief), and the protocol (deque + latch) serializes all access to the
+// `UnsafeCell` fields.
 unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
 
 /// The injected root task of [`Pool::run`]: executes the user's closure as
@@ -255,6 +261,8 @@ where
 
     /// The type-erased reference to inject.
     pub fn as_job_ref(&self) -> JobRef {
+        // SAFETY: `Pool::run` keeps the root job alive on its stack
+        // until the latch fires, i.e. until after execution.
         unsafe { JobRef::new(self) }
     }
 
@@ -281,7 +289,12 @@ where
     }
 }
 
+// SAFETY: exactly one worker executes the injected job while the
+// injecting thread only waits on the latch; the latch handshake orders
+// the result handoff.
 unsafe impl<F: Send, R: Send> Sync for RootJob<F, R> {}
+// SAFETY: the closure and result are `Send`, and the latch reference is
+// only used for signaling.
 unsafe impl<F: Send, R: Send> Send for RootJob<F, R> {}
 
 #[cfg(test)]
@@ -305,14 +318,19 @@ mod tests {
         let job: StackJob<_, i32> = StackJob::new(|| 7);
         let r = job.as_job_ref();
         let raw = r.as_raw();
+        // SAFETY: `raw` came from `as_raw` on a live job just above.
         let back = unsafe { JobRef::from_raw(raw) };
         assert_eq!(back, r);
+        // SAFETY: the job was never executed; cancel drops the closure
+        // exactly once.
         unsafe { job.cancel() };
     }
 
     #[test]
     fn inline_path_stores_nothing_in_latch() {
         let job: StackJob<_, i32> = StackJob::new(|| 40 + 2);
+        // SAFETY: the job was never pushed, so this thread is its only
+        // owner and it has not run yet.
         let res = unsafe { job.run_inline() };
         assert!(!job.latch.probe());
         assert_eq!(res.into_return_value(), 42);

@@ -67,16 +67,25 @@ where
     if popped_own {
         if ra.is_ok() {
             worker.note_inline_join();
+            // SAFETY: we popped our own push of `job_b` before anyone
+            // stole it, so it is unexecuted and this thread is its only
+            // owner.
             rb = unsafe { job_b.run_inline() };
         } else {
             // a panicked and b was never stolen: serial semantics say b
             // never runs. Drop the closure unrun.
+            // SAFETY: same exclusive ownership as the branch above; the
+            // closure has not run and is dropped exactly once.
             unsafe { job_b.cancel() };
             rb = JobResult::None;
         }
     } else {
         worker.note_stolen_join();
+        // SAFETY: the latch is set, so the thief finished executing
+        // `job_b` and published the deposit and result before the
+        // release store `wait_for_latch` acquired; each is taken once.
         deposit = unsafe { job_b.take_deposit() };
+        // SAFETY: as above.
         rb = unsafe { job_b.take_result() };
     }
 

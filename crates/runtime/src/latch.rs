@@ -1,9 +1,8 @@
 //! Completion latches: one-shot flags a job sets when it finishes and a
 //! waiter polls or blocks on.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-
-use parking_lot::{Condvar, Mutex};
+use crate::msync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::msync::{Condvar, Mutex};
 
 /// A one-shot completion signal.
 pub trait Latch {

@@ -53,8 +53,13 @@ pub mod registry;
 pub mod sync;
 
 mod join;
+pub(crate) mod msync;
 mod parallel_for;
 mod scope;
+pub(crate) mod sleep;
+
+#[cfg(all(test, feature = "model"))]
+mod model_tests;
 
 pub use hooks::{DetachedViews, HyperHooks, NoopHooks};
 pub use join::join;

@@ -1,0 +1,56 @@
+//! Model-switchable synchronization facade.
+//!
+//! Every concurrency primitive the scheduler's hot protocols touch —
+//! atomics, fences, `Mutex`/`Condvar`, thread spawn/park/unpark — is
+//! imported through this module rather than from `std`/`parking_lot`
+//! directly. In normal builds the re-exports are zero-cost aliases of
+//! the real primitives. With the `model` cargo feature they resolve to
+//! `cilkm_checker`'s recorded, schedule-explored versions, so the deque,
+//! latches, and the sleeper handshake can run under the model checker
+//! unchanged (see DESIGN.md §10).
+//!
+//! Note the checker types are themselves dual-mode: a `--features
+//! model` build that is *not* inside `cilkm_checker::model(..)` behaves
+//! like the real primitives, so the whole test suite still passes with
+//! the feature enabled.
+
+#[cfg(feature = "model")]
+pub(crate) use cilkm_checker::sync::atomic;
+#[cfg(not(feature = "model"))]
+pub(crate) use std::sync::atomic;
+
+#[cfg(feature = "model")]
+pub(crate) use cilkm_checker::sync::{Condvar, Mutex};
+#[cfg(not(feature = "model"))]
+pub(crate) use parking_lot::{Condvar, Mutex};
+
+/// Thread spawn/park/unpark, model-switchable like the atomics above.
+pub(crate) mod thread {
+    #[cfg(feature = "model")]
+    pub(crate) use cilkm_checker::thread::{current, park_timeout, yield_now, JoinHandle, Thread};
+
+    #[cfg(not(feature = "model"))]
+    pub(crate) use std::thread::{current, park_timeout, yield_now, JoinHandle, Thread};
+
+    /// Spawns a thread with a name and stack size.
+    #[cfg(feature = "model")]
+    pub(crate) fn spawn_with<F>(name: String, stack_size: usize, f: F) -> JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        cilkm_checker::thread::spawn_with(Some(name), Some(stack_size), f)
+    }
+
+    /// Spawns a thread with a name and stack size.
+    #[cfg(not(feature = "model"))]
+    pub(crate) fn spawn_with<F>(name: String, stack_size: usize, f: F) -> JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        std::thread::Builder::new()
+            .name(name)
+            .stack_size(stack_size)
+            .spawn(f)
+            .expect("failed to spawn worker thread")
+    }
+}

@@ -1,48 +1,26 @@
 //! The worker registry: pool construction, worker threads, the steal
 //! loop, and the context-suspension discipline around foreign jobs.
 //!
-//! # The sleeper/waker handshake
-//!
-//! Idle workers park without any lock on the wake path; producers pay
-//! one fence and one load when everybody is awake. Correctness rests on
-//! a single invariant, enforced with `SeqCst` fences on both sides:
-//!
-//! * A **parker** announces itself (marks its slot `PARKED`, increments
-//!   `sleepers`), executes a `SeqCst` fence, and only then re-checks for
-//!   work (termination, injected jobs, non-empty deques). It parks only
-//!   if that re-check finds nothing.
-//! * A **waker** first publishes the work (deque push or injection),
-//!   executes a `SeqCst` fence, and only then loads `sleepers`.
-//!
-//! Both fences are totally ordered. If the waker's fence comes first,
-//! the parker's re-check (after its own fence) observes the published
-//! work and the parker retracts instead of parking. If the parker's
-//! fence comes first, the waker's `sleepers` load observes the
-//! increment and the waker wakes somebody. Either way no job is left
-//! behind with every worker asleep. (A plain `Relaxed` load of
-//! `sleepers` *without* the waker-side fence — the bug this replaces —
-//! can miss a just-parked sleeper: the load may be satisfied before the
-//! parker's increment while the parker's re-check missed the push.)
-//!
-//! Waking claims a specific worker by CAS `PARKED → NOTIFIED` before
-//! `unpark`, so concurrent wakers each rouse a *different* sleeper
-//! instead of all piling onto one. A parked worker also wakes on a
-//! timeout backstop, so a liveness bug degrades to latency, not
-//! deadlock.
+//! Idle/wake coordination lives in [`crate::sleep::SleepGate`]: workers
+//! announce themselves before parking and producers fence-then-check
+//! after publishing work, so no job is ever left behind with every
+//! worker asleep (the protocol and its model-checked proof obligations
+//! are documented there).
 
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
-use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::msync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::msync::{thread, Mutex};
 
 use crate::deque::{deque, DequeOwner, DequeStealer, Steal};
 use crate::hooks::{DetachedViews, HyperHooks, NoopHooks};
 use crate::job::{JobRef, RootJob};
 use crate::latch::{Latch, LockLatch, SpinLatch};
+use crate::sleep::SleepGate;
 
 /// Per-worker event counters. All relaxed; read only for reporting.
 #[derive(Default)]
@@ -79,21 +57,9 @@ pub struct PoolStats {
     pub stolen_joins: u64,
 }
 
-/// Park-state values for [`ThreadInfo::park_state`] (see the module
-/// comment for the protocol).
-const AWAKE: u32 = 0;
-const PARKED: u32 = 1;
-const NOTIFIED: u32 = 2;
-
 struct ThreadInfo {
     stealer: DequeStealer,
     stats: WorkerStats,
-    /// `AWAKE`/`PARKED`/`NOTIFIED`; wakers claim a sleeper by CAS
-    /// `PARKED → NOTIFIED` before unparking it.
-    park_state: AtomicU32,
-    /// The worker's thread handle for `unpark`; the worker registers it
-    /// before its first park, so any observer of `PARKED` finds it set.
-    parker: OnceLock<std::thread::Thread>,
 }
 
 /// Shared pool state.
@@ -102,13 +68,9 @@ pub(crate) struct Registry {
     threads: Vec<ThreadInfo>,
     injector: Mutex<VecDeque<JobRef>>,
     injected: AtomicUsize,
-    /// Number of workers currently announced as sleeping (protocol in
-    /// the module comment). Incremented before parking, decremented on
-    /// wake; wakers read it after a `SeqCst` fence.
-    sleepers: AtomicUsize,
-    /// Rotates the starting point of wake scans so repeated wakes do not
-    /// all land on worker 0.
-    wake_cursor: AtomicUsize,
+    /// Sleeper announcement slots + wake claiming (protocol in
+    /// `crate::sleep`).
+    gate: SleepGate,
     /// Failed steal sweeps spent spinning / yielding before a worker
     /// parks. `(SPIN_TRIES, YIELD_TRIES)` when the pool fits in the
     /// hardware, `(0, 1)` when workers are oversubscribed on too few
@@ -127,10 +89,9 @@ impl Registry {
     fn inject(&self, job: JobRef) {
         self.injector.lock().push_back(job);
         self.injected.fetch_add(1, Ordering::Release);
-        // Waker side of the handshake (module comment), then wake
+        // Waker side of the handshake (see `crate::sleep`), waking
         // everyone: an injection is rare and starts a region.
-        fence(Ordering::SeqCst);
-        self.wake_all();
+        self.gate.signal_all();
     }
 
     fn pop_injected(&self) -> Option<JobRef> {
@@ -146,61 +107,11 @@ impl Registry {
     }
 
     /// Wakes one sleeping worker if any (called after deque pushes).
-    ///
-    /// Lock-free: the common everybody-awake case is one fence and one
-    /// load. The fence is the waker side of the handshake in the module
-    /// comment — the caller has already published the job, so either
-    /// this load observes a sleeper, or that sleeper's post-announce
-    /// re-check observes the job.
+    /// The caller has already published the job; the gate's fence +
+    /// sleeper load is the waker side of the handshake in `crate::sleep`.
     #[inline]
     pub(crate) fn signal_work(&self) {
-        fence(Ordering::SeqCst);
-        if self.sleepers.load(Ordering::Relaxed) > 0 {
-            self.wake_one();
-        }
-    }
-
-    /// Claims and unparks one parked worker, if any is still parked.
-    #[cold]
-    fn wake_one(&self) {
-        let n = self.threads.len();
-        let start = self.wake_cursor.fetch_add(1, Ordering::Relaxed) % n;
-        for i in 0..n {
-            let t = &self.threads[(start + i) % n];
-            if t.park_state
-                .compare_exchange(PARKED, NOTIFIED, Ordering::SeqCst, Ordering::Relaxed)
-                .is_ok()
-            {
-                // A worker marks itself PARKED only after registering its
-                // handle, so the claim guarantees the handle is present.
-                t.parker
-                    .get()
-                    .expect("claimed sleeper has no handle")
-                    .unpark();
-                return;
-            }
-        }
-        // Every announced sleeper is already claimed or mid-wakeup; their
-        // own re-checks (or the woken workers' steal loops) cover the new
-        // job, so there is nobody left to rouse.
-    }
-
-    /// Unparks every worker (termination and region starts).
-    fn wake_all(&self) {
-        for t in &self.threads {
-            // Unconditional: claiming is pointless when waking everyone,
-            // and an unpark of a running worker is a no-op beyond making
-            // its next park return immediately (it re-checks and re-parks).
-            let _ = t.park_state.compare_exchange(
-                PARKED,
-                NOTIFIED,
-                Ordering::SeqCst,
-                Ordering::Relaxed,
-            );
-            if let Some(h) = t.parker.get() {
-                h.unpark();
-            }
-        }
+        self.gate.signal_one();
     }
 
     fn stats(&self) -> PoolStats {
@@ -239,8 +150,9 @@ impl WorkerThread {
         if ptr.is_null() {
             None
         } else {
-            // The pointer is installed for the lifetime of the worker's
-            // main loop and cleared before the WorkerThread is dropped.
+            // SAFETY: the pointer is installed for the lifetime of the
+            // worker's main loop and cleared before the WorkerThread is
+            // dropped, so it is live whenever non-null on this thread.
             Some(unsafe { &*ptr })
         }
     }
@@ -274,13 +186,15 @@ impl WorkerThread {
 
     #[inline]
     pub(crate) fn pop(&self) -> Option<JobRef> {
+        // SAFETY: everything in this worker's deque was produced by
+        // `JobRef::as_raw`.
         self.deque.pop().map(|raw| unsafe { JobRef::from_raw(raw) })
     }
 
     /// Calls `f` with the worker's mutable hyperobject state.
     #[inline]
     pub(crate) fn with_state<R>(&self, f: impl FnOnce(&mut dyn Any) -> R) -> R {
-        // Sound: state is only ever touched from this worker's own
+        // SAFETY: state is only ever touched from this worker's own
         // thread, and never reentrantly (hooks do not call back into the
         // scheduler).
         let state = unsafe { &mut *self.state.get() };
@@ -323,6 +237,8 @@ impl WorkerThread {
                     match self.registry.threads[victim].stealer.steal() {
                         Steal::Success(raw) => {
                             self.stats().steals.fetch_add(1, Ordering::Relaxed);
+                            // SAFETY: deque contents are always raw
+                            // `JobRef`s (see `pop`).
                             return Some(unsafe { JobRef::from_raw(raw) });
                         }
                         Steal::Retry => continue,
@@ -343,6 +259,9 @@ impl WorkerThread {
     #[inline]
     fn execute_idle(&self, job: JobRef) {
         self.stats().jobs_executed.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: popping/stealing transferred sole execution rights for
+        // this job to us, and its frame outlives execution (job
+        // contract).
         unsafe { job.execute() };
     }
 
@@ -354,6 +273,7 @@ impl WorkerThread {
         let hooks = self.registry.hooks.clone();
         let saved = self.with_state(|s| hooks.suspend(s));
         self.stats().jobs_executed.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: as in `execute_idle`.
         unsafe { job.execute() };
         self.with_state(|s| hooks.resume(s, saved));
     }
@@ -392,7 +312,7 @@ impl WorkerThread {
                     std::hint::spin_loop();
                 }
             } else {
-                std::thread::yield_now();
+                thread::yield_now();
             }
         }
     }
@@ -427,7 +347,7 @@ impl WorkerThread {
                     std::hint::spin_loop();
                 }
             } else {
-                std::thread::yield_now();
+                thread::yield_now();
             }
         }
     }
@@ -438,10 +358,7 @@ impl WorkerThread {
     /// times, and only then pays the cost of parking.
     fn main_loop(&self) {
         // Register the unpark handle before anything can mark us PARKED.
-        self.registry.threads[self.index]
-            .parker
-            .set(std::thread::current())
-            .expect("worker handle registered twice");
+        self.registry.gate.register_current(self.index);
         let mut idle = 0u32;
         loop {
             if self.registry.terminate.load(Ordering::Acquire) {
@@ -466,38 +383,27 @@ impl WorkerThread {
                     std::hint::spin_loop();
                 }
             } else if idle <= self.registry.spin_tries + self.registry.yield_tries {
-                std::thread::yield_now();
+                thread::yield_now();
             } else {
                 self.sleep();
             }
         }
     }
 
-    /// Parker side of the handshake in the module comment: announce,
-    /// fence, re-check, and only park if the re-check finds nothing.
+    /// Parker side of the handshake in `crate::sleep`: announce, fence,
+    /// re-check, and only park if the re-check finds nothing.
     #[cold]
     fn sleep(&self) {
         let reg = &*self.registry;
-        let me = &reg.threads[self.index];
-        me.park_state.store(PARKED, Ordering::SeqCst);
-        reg.sleepers.fetch_add(1, Ordering::SeqCst);
-        fence(Ordering::SeqCst);
-        let work_exists = reg.terminate.load(Ordering::Acquire)
-            || reg.injected.load(Ordering::Acquire) != 0
-            || reg
-                .threads
-                .iter()
-                .enumerate()
-                .any(|(i, t)| i != self.index && !t.stealer.is_empty());
-        if !work_exists {
-            // Timeout backstop: a protocol bug shows up as latency, not
-            // a hang. Spurious returns are fine — the loop re-checks.
-            std::thread::park_timeout(Duration::from_millis(10));
-        }
-        reg.sleepers.fetch_sub(1, Ordering::SeqCst);
-        // Swallow any claim raced onto us (NOTIFIED): the unpark token,
-        // if still pending, only makes the next park return at once.
-        me.park_state.swap(AWAKE, Ordering::SeqCst);
+        reg.gate.sleep(self.index, || {
+            reg.terminate.load(Ordering::Acquire)
+                || reg.injected.load(Ordering::Acquire) != 0
+                || reg
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .any(|(i, t)| i != self.index && !t.stealer.is_empty())
+        });
     }
 }
 
@@ -581,8 +487,6 @@ impl PoolBuilder {
             infos.push(ThreadInfo {
                 stealer,
                 stats: WorkerStats::default(),
-                park_state: AtomicU32::new(AWAKE),
-                parker: OnceLock::new(),
             });
         }
         let hardware = std::thread::available_parallelism()
@@ -593,13 +497,13 @@ impl PoolBuilder {
         } else {
             (SPIN_TRIES, YIELD_TRIES)
         };
+        let num_threads = self.num_threads;
         let registry = Arc::new(Registry {
             hooks: self.hooks,
             threads: infos,
             injector: Mutex::new(VecDeque::new()),
             injected: AtomicUsize::new(0),
-            sleepers: AtomicUsize::new(0),
-            wake_cursor: AtomicUsize::new(0),
+            gate: SleepGate::new(num_threads),
             spin_tries,
             yield_tries,
             terminate: AtomicBool::new(false),
@@ -608,10 +512,10 @@ impl PoolBuilder {
         let mut handles = Vec::with_capacity(self.num_threads);
         for (index, owner) in owners.into_iter().enumerate() {
             let registry = Arc::clone(&registry);
-            let handle = std::thread::Builder::new()
-                .name(format!("cilkm-worker-{index}"))
-                .stack_size(self.stack_size)
-                .spawn(move || {
+            let handle = thread::spawn_with(
+                format!("cilkm-worker-{index}"),
+                self.stack_size,
+                move || {
                     // Worker state is created on the worker's own thread so
                     // backends can set up thread-local fast paths.
                     let state = registry.hooks.make_worker_state(index);
@@ -625,8 +529,8 @@ impl PoolBuilder {
                     CURRENT_WORKER.with(|c| c.set(&worker));
                     worker.main_loop();
                     CURRENT_WORKER.with(|c| c.set(std::ptr::null()));
-                })
-                .expect("failed to spawn worker thread");
+                },
+            );
             handles.push(handle);
         }
 
@@ -645,7 +549,7 @@ impl PoolBuilder {
 /// region with [`Pool::run`]; fork inside it with [`crate::join`].
 pub struct Pool {
     registry: Arc<Registry>,
-    handles: Option<Vec<std::thread::JoinHandle<()>>>,
+    handles: Option<Vec<thread::JoinHandle<()>>>,
     /// Serializes parallel regions: reducer leftmost storage is folded at
     /// region end, so two regions of one pool must never overlap.
     region_lock: Mutex<()>,
@@ -687,6 +591,8 @@ impl Pool {
         let job = RootJob::new(f, &latch);
         self.registry.inject(job.as_job_ref());
         latch.wait();
+        // SAFETY: the latch fired, so the worker finished the root job
+        // and published its result; we take it exactly once.
         unsafe { job.take_result() }.into_return_value()
     }
 
@@ -699,8 +605,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         self.registry.terminate.store(true, Ordering::SeqCst);
-        fence(Ordering::SeqCst);
-        self.registry.wake_all();
+        self.registry.gate.signal_all();
         if let Some(handles) = self.handles.take() {
             for h in handles {
                 let _ = h.join();

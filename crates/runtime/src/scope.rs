@@ -129,6 +129,8 @@ impl<'scope> Scope<'scope> {
         });
         // Leak into the deque; ScopeJob::execute reconstitutes it.
         let raw = Box::into_raw(job);
+        // SAFETY: the heap job stays alive until `execute` reboxes it,
+        // and the scope barrier keeps `'scope` data live past that.
         worker.push(unsafe { JobRef::new(raw) });
     }
 }

@@ -5,7 +5,8 @@
 
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::msync::atomic::{AtomicBool, Ordering};
 
 /// A test-and-test-and-set spinlock with exponential backoff.
 ///
@@ -17,7 +18,12 @@ pub struct SpinLock<T> {
     value: UnsafeCell<T>,
 }
 
+// SAFETY: the lock owns its `T` and moves with it; `T: Send` is all
+// that moving the whole lock between threads requires.
 unsafe impl<T: Send> Send for SpinLock<T> {}
+// SAFETY: the CAS on `locked` admits one guard at a time, so shared
+// references to the lock only ever yield exclusive access to the `T`
+// (the same bound std's `Mutex` uses).
 unsafe impl<T: Send> Sync for SpinLock<T> {}
 
 impl<T> SpinLock<T> {
@@ -47,7 +53,7 @@ impl<T> SpinLock<T> {
             if spins < 16 {
                 std::hint::spin_loop();
             } else {
-                std::thread::yield_now();
+                crate::msync::thread::yield_now();
             }
         }
     }
@@ -79,12 +85,16 @@ pub struct SpinGuard<'a, T> {
 impl<T> Deref for SpinGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // SAFETY: the guard exists only while this thread holds the
+        // lock, so the cell is not aliased mutably.
         unsafe { &*self.lock.value.get() }
     }
 }
 
 impl<T> DerefMut for SpinGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: holding the lock (and `&mut` on the guard) makes this
+        // the only reference to the cell's contents.
         unsafe { &mut *self.lock.value.get() }
     }
 }

@@ -41,6 +41,7 @@ mod tests {
     #[test]
     fn thread_cputime_clock_ticks() {
         let mut a = timespec::default();
+        // SAFETY: passes a valid, writable `timespec` out-pointer.
         let ra = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a) };
         assert_eq!(ra, 0);
         let mut x = 0u64;
@@ -49,6 +50,7 @@ mod tests {
         }
         std::hint::black_box(x);
         let mut b = timespec::default();
+        // SAFETY: as above.
         let rb = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) };
         assert_eq!(rb, 0);
         let ns = |t: &timespec| t.tv_sec as u128 * 1_000_000_000 + t.tv_nsec as u128;

@@ -119,48 +119,87 @@ impl SpaMapRef {
         }
     }
 
+    /// Under the model checker, record a whole-map read at the map's base
+    /// address: the access contract is "one thread at a time per map", so
+    /// map granularity is exactly the invariant to check, and it keeps
+    /// the model's plain-memory bookkeeping per map instead of per field.
+    #[inline]
+    fn note_read(&self) {
+        #[cfg(feature = "model")]
+        cilkm_checker::trace::note_read(self.ptr as usize, "SpaMap");
+    }
+
+    /// Model-checker mirror of [`SpaMapRef::note_read`] for mutations.
+    #[inline]
+    fn note_write(&self) {
+        #[cfg(feature = "model")]
+        cilkm_checker::trace::note_write(self.ptr as usize, "SpaMap");
+    }
+
     /// Raw field accessors: every read/write goes through a fresh,
     /// immediately-dropped place expression, so no reference is ever
     /// live across a user callback (which may itself hold a `SpaMapRef`
     /// copy to this or another map).
     #[inline]
     fn nvalid_raw(&self) -> u32 {
+        self.note_read();
+        // SAFETY: `self.ptr` points at a live, page-aligned
+        // `SpaMapLayout` (guaranteed by `from_raw`'s contract), and the
+        // place expression is read and dropped immediately.
         unsafe { (*self.ptr).nvalid }
     }
 
     #[inline]
     fn set_nvalid_raw(&self, v: u32) {
+        self.note_write();
+        // SAFETY: as in `nvalid_raw`; the single-thread-per-map contract
+        // makes the store non-racing.
         unsafe { (*self.ptr).nvalid = v }
     }
 
     #[inline]
     fn nlog_raw(&self) -> u32 {
+        self.note_read();
+        // SAFETY: as in `nvalid_raw`.
         unsafe { (*self.ptr).nlog }
     }
 
     #[inline]
     fn set_nlog_raw(&self, v: u32) {
+        self.note_write();
+        // SAFETY: as in `set_nvalid_raw`.
         unsafe { (*self.ptr).nlog = v }
     }
 
     #[inline]
     fn view_raw(&self, idx: usize) -> ViewPair {
         debug_assert!(idx < VIEWS_PER_MAP);
+        self.note_read();
+        // SAFETY: as in `nvalid_raw`; `idx` is bounds-checked above and
+        // the borrow ends within this expression.
         unsafe { (&(*self.ptr).views)[idx] }
     }
 
     #[inline]
     fn set_view_raw(&self, idx: usize, pair: ViewPair) {
+        self.note_write();
+        // SAFETY: as in `view_raw`; the mutable borrow is created and
+        // dropped inside this single statement.
         unsafe { (&mut (*self.ptr).views)[idx] = pair }
     }
 
     #[inline]
     fn log_raw(&self, i: usize) -> u8 {
+        self.note_read();
+        // SAFETY: as in `view_raw` (the log array indexing panics rather
+        // than going out of bounds).
         unsafe { (&(*self.ptr).log)[i] }
     }
 
     #[inline]
     fn set_log_raw(&self, i: usize, v: u8) {
+        self.note_write();
+        // SAFETY: as in `set_view_raw`.
         unsafe { (&mut (*self.ptr).log)[i] = v }
     }
 
@@ -207,6 +246,9 @@ impl SpaMapRef {
     #[inline]
     pub fn slot_ptr(&self, idx: usize) -> *mut ViewPair {
         debug_assert!(idx < VIEWS_PER_MAP);
+        // SAFETY: `self.ptr` is a live `SpaMapLayout` and
+        // `idx < VIEWS_PER_MAP`, so the offset stays inside the views
+        // array; only the address is formed here, no dereference.
         unsafe { (*self.ptr).views.as_mut_ptr().add(idx) }
     }
 
@@ -220,6 +262,7 @@ impl SpaMapRef {
         );
         self.set_view_raw(idx, pair);
         self.set_nvalid_raw(self.nvalid_raw() + 1);
+        self.debug_validate_counts();
         let nlog = self.nlog_raw();
         if nlog == LOG_OVERFLOWED {
             return InsertOutcome::Overflowed;
@@ -244,6 +287,7 @@ impl SpaMapRef {
         debug_assert!(!pair.is_null(), "remove of empty SPA slot {idx}");
         self.set_view_raw(idx, ViewPair::NULL);
         self.set_nvalid_raw(self.nvalid_raw() - 1);
+        self.debug_validate_counts();
         pair
     }
 
@@ -310,6 +354,42 @@ impl SpaMapRef {
         // contain zeros for the map to be recyclable.
         self.set_nvalid_raw(0);
         self.set_nlog_raw(0);
+        self.debug_validate_counts();
+    }
+
+    /// Debug-build invariant check: `nvalid` must equal the number of
+    /// non-null view slots, every live log entry must index a real slot,
+    /// and a non-overflowed log can never exceed its capacity. Release
+    /// builds compile this to nothing.
+    #[inline]
+    fn debug_validate_counts(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut occupied = 0u32;
+            for idx in 0..VIEWS_PER_MAP {
+                if !self.view_raw(idx).is_null() {
+                    occupied += 1;
+                }
+            }
+            debug_assert_eq!(
+                self.nvalid_raw(),
+                occupied,
+                "SPA map nvalid disagrees with occupied slots"
+            );
+            let nlog = self.nlog_raw();
+            if nlog != LOG_OVERFLOWED {
+                debug_assert!(
+                    nlog as usize <= LOG_CAPACITY,
+                    "SPA map log count {nlog} exceeds capacity"
+                );
+                for i in 0..nlog as usize {
+                    debug_assert!(
+                        (self.log_raw(i) as usize) < VIEWS_PER_MAP,
+                        "SPA map log entry {i} out of range"
+                    );
+                }
+            }
+        }
     }
 
     /// Resets the map to empty without visiting elements (test helper).
@@ -324,8 +404,9 @@ impl SpaMapRef {
     }
 }
 
-// The raw pointer is a capability handed around under the runtime's
-// protocol; the data it points at is plain memory.
+// SAFETY: the raw pointer is a capability handed around under the
+// runtime's protocol (one thread accesses a map at a time); the data it
+// points at is plain memory with no thread affinity.
 unsafe impl Send for SpaMapRef {}
 
 /// An owned, heap-allocated SPA map in shared memory — a **public SPA
@@ -339,6 +420,7 @@ impl SpaMapBox {
     /// Allocates a fresh empty map.
     pub fn new() -> SpaMapBox {
         let layout = Layout::from_size_align(MAP_SIZE, MAP_SIZE).expect("static layout");
+        // SAFETY: `layout` is the valid, non-zero-sized one-page layout.
         let ptr = unsafe { alloc_zeroed(layout) };
         assert!(!ptr.is_null(), "allocation failure for public SPA map");
         SpaMapBox { ptr }
@@ -347,6 +429,8 @@ impl SpaMapBox {
     /// Accessor over the owned map.
     #[inline]
     pub fn as_ref(&self) -> SpaMapRef {
+        // SAFETY: `self.ptr` is the page-aligned, zero-initialized (and
+        // hence validly laid out) map this box allocated and still owns.
         unsafe { SpaMapRef::from_raw(self.ptr) }
     }
 }
@@ -367,10 +451,14 @@ impl Drop for SpaMapBox {
             "dropping a non-empty public SPA map leaks views"
         );
         let layout = Layout::from_size_align(MAP_SIZE, MAP_SIZE).expect("static layout");
+        // SAFETY: `self.ptr` was obtained from `alloc_zeroed` with this
+        // exact layout and is freed exactly once (Drop).
         unsafe { dealloc(self.ptr, layout) };
     }
 }
 
+// SAFETY: the box exclusively owns its heap page; see `SpaMapRef`'s
+// `Send` rationale for the access discipline.
 unsafe impl Send for SpaMapBox {}
 
 #[cfg(test)]
@@ -503,12 +591,15 @@ mod tests {
     fn works_over_tlmm_like_raw_page() {
         // Simulate a raw zeroed page (what a TLMM palloc returns).
         let layout = Layout::from_size_align(MAP_SIZE, MAP_SIZE).unwrap();
+        // SAFETY: valid non-zero-sized one-page layout.
         let raw = unsafe { alloc_zeroed(layout) };
+        // SAFETY: `raw` is page-aligned zeroed memory — an empty map.
         let m = unsafe { SpaMapRef::from_raw(raw) };
         assert!(m.is_empty());
         m.insert(42, pair(42));
         assert_eq!(m.get(42), pair(42));
         m.clear_all();
+        // SAFETY: allocated above with this exact layout; freed once.
         unsafe { dealloc(raw, layout) };
     }
 

@@ -2,7 +2,12 @@
 //! safe generic `Spa` used as an executable model, and both must conserve
 //! their occupancy invariants under arbitrary operation sequences.
 
+// Property suites are orders of magnitude too slow under the Miri
+// interpreter; the crates' inline unit tests cover the same paths there.
+#![cfg(not(miri))]
+
 use cilkm_spa::{Spa, SpaMapBox, ViewPair, LOG_CAPACITY, VIEWS_PER_MAP};
+
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

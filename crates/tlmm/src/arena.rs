@@ -23,7 +23,8 @@ enum Slot {
     Free(u32),
 }
 
-// Raw page pointers are plain heap memory owned by the arena.
+// SAFETY: the raw page pointer in a `Live` slot is plain heap memory
+// owned by the arena, freed exactly once by `pfree`/`Drop`.
 unsafe impl Send for Slot {}
 
 struct ArenaInner {
@@ -60,8 +61,12 @@ pub struct PageArena {
     peak_live: AtomicU64,
 }
 
-// The arena hands out raw pointers but the bookkeeping itself is guarded.
+// SAFETY: the slot table (the only raw-pointer holder) is behind a
+// `Mutex`, and the counters are atomics.
 unsafe impl Send for PageArena {}
+// SAFETY: as for `Send` — all shared mutation goes through the `Mutex`
+// or the atomic counters; handed-out page pointers are the callers'
+// responsibility (see `PageDesc`).
 unsafe impl Sync for PageArena {}
 
 impl PageArena {
@@ -84,6 +89,7 @@ impl PageArena {
     pub fn palloc(&self) -> PageDesc {
         stats::charge(&stats::PALLOC_CALLS);
         self.total_allocs.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `page_layout()` is the non-zero-sized 4-KiB layout.
         let page = unsafe { alloc_zeroed(page_layout()) };
         assert!(!page.is_null(), "simulated physical memory exhausted");
 
@@ -91,7 +97,7 @@ impl PageArena {
         inner.live += 1;
         self.peak_live
             .fetch_max(inner.live as u64, Ordering::Relaxed);
-        if inner.free_head != u32::MAX {
+        let pd = if inner.free_head != u32::MAX {
             let idx = inner.free_head;
             match inner.slots[idx as usize] {
                 Slot::Free(next) => inner.free_head = next,
@@ -107,7 +113,9 @@ impl PageArena {
             );
             inner.slots.push(Slot::Live(page));
             PageDesc(idx as u32)
-        }
+        };
+        self.debug_validate(&inner);
+        pd
     }
 
     /// Simulated `sys_pfree`: frees a descriptor and its physical page.
@@ -136,9 +144,56 @@ impl PageArena {
             *slot = Slot::Free(free_head);
             inner.free_head = pd.0;
             inner.live -= 1;
+            self.debug_validate(&inner);
             page
         };
+        // SAFETY: `page` came from `alloc_zeroed(page_layout())` in
+        // `palloc`; marking the slot `Free` above makes this the last
+        // use of the pointer.
         unsafe { dealloc(page, page_layout()) };
+    }
+
+    /// Debug-build audit of page-descriptor ownership: the `live`
+    /// counter must equal the number of `Live` slots, the free list must
+    /// thread through exactly the `Free` slots (no cycles, no repeats,
+    /// no dangling indices), and live pages must be distinct allocations.
+    /// Release builds compile this to nothing.
+    fn debug_validate(&self, inner: &ArenaInner) {
+        let _ = inner;
+        #[cfg(debug_assertions)]
+        {
+            let mut live = 0usize;
+            let mut free = 0usize;
+            let mut bases = std::collections::HashSet::new();
+            for slot in &inner.slots {
+                match *slot {
+                    Slot::Live(p) => {
+                        live += 1;
+                        debug_assert!(!p.is_null(), "live slot holds null page");
+                        debug_assert!(bases.insert(p as usize), "two descriptors own one page");
+                    }
+                    Slot::Free(_) => free += 1,
+                }
+            }
+            debug_assert_eq!(inner.live, live, "arena live counter out of sync");
+            let mut walked = 0usize;
+            let mut cursor = inner.free_head;
+            while cursor != u32::MAX {
+                debug_assert!(
+                    (cursor as usize) < inner.slots.len(),
+                    "free list escapes the slot table"
+                );
+                match inner.slots[cursor as usize] {
+                    Slot::Free(next) => cursor = next,
+                    Slot::Live(_) => {
+                        panic!("free list points at live descriptor {cursor}")
+                    }
+                }
+                walked += 1;
+                debug_assert!(walked <= inner.slots.len(), "free list cycle");
+            }
+            debug_assert_eq!(walked, free, "free list misses free slots");
+        }
     }
 
     /// Kernel-internal descriptor resolution: base pointer of the page.
@@ -198,6 +253,8 @@ impl Drop for PageArena {
         let inner = self.inner.get_mut();
         for slot in &inner.slots {
             if let Slot::Live(p) = *slot {
+                // SAFETY: live slots hold pages from `palloc`'s
+                // allocator, not yet freed (else they would be `Free`).
                 unsafe { dealloc(p, page_layout()) };
             }
         }
@@ -218,6 +275,7 @@ mod tests {
         let pb = arena.page_base(b);
         assert_ne!(pa, pb);
         for off in [0usize, 1, PAGE_SIZE / 2, PAGE_SIZE - 1] {
+            // SAFETY: both pages are live and `off < PAGE_SIZE`.
             unsafe {
                 assert_eq!(*pa.add(off), 0);
                 assert_eq!(*pb.add(off), 0);
@@ -245,11 +303,13 @@ mod tests {
     fn recycled_descriptor_points_at_fresh_zeroed_page() {
         let arena = PageArena::new();
         let a = arena.palloc();
+        // SAFETY: `a` is live and the write is in bounds.
         unsafe { *arena.page_base(a) = 0xAB };
         arena.pfree(a);
         let b = arena.palloc();
         // Same descriptor number, but the memory is zeroed again.
         assert_eq!(b.raw(), a.raw());
+        // SAFETY: `b` is live; reads byte 0 of the page.
         unsafe { assert_eq!(*arena.page_base(b), 0) };
         arena.pfree(b);
     }
@@ -298,12 +358,16 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns OS worker threads")]
     fn descriptors_are_shareable_across_threads() {
         use std::sync::Arc;
         let arena = Arc::new(PageArena::new());
         let pd = arena.palloc();
+        // SAFETY: `pd` is live and this thread has sole access.
         unsafe { *arena.page_base(pd) = 42 };
         let arena2 = Arc::clone(&arena);
+        // SAFETY: the page stays live (freed by neither thread) and the
+        // spawn/join pair orders the write before this read.
         let got = std::thread::spawn(move || unsafe { *arena2.page_base(pd) })
             .join()
             .unwrap();

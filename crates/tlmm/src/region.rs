@@ -64,9 +64,10 @@ pub struct TlmmRegion {
     pmap_calls: u64,
 }
 
-// A region owns no memory of its own beyond indices; the pointers refer to
-// arena pages which are kept alive by the Arc. Moving a region between
-// threads (e.g. handing it to a worker at pool start) is safe.
+// SAFETY: a region owns no memory of its own beyond indices; the
+// pointers refer to arena pages which are kept alive by the `Arc`.
+// Moving a region between threads (e.g. handing it to a worker at pool
+// start) is sound.
 unsafe impl Send for TlmmRegion {}
 
 impl TlmmRegion {
@@ -112,6 +113,14 @@ impl TlmmRegion {
                 self.bases[page] = std::ptr::null_mut();
             } else {
                 let base = self.arena.page_base(pd);
+                debug_assert!(
+                    !self
+                        .table
+                        .iter()
+                        .enumerate()
+                        .any(|(other, &mapped)| other != page && mapped == pd),
+                    "descriptor {pd:?} mapped at two pages of one region"
+                );
                 self.table[page] = pd;
                 self.bases[page] = base;
             }
@@ -163,7 +172,9 @@ impl TlmmRegion {
         if base.is_null() {
             std::ptr::null_mut()
         } else {
-            // In-page offset can never overflow the page.
+            // SAFETY: `base` is a live page and `addr.offset()` is
+            // < PAGE_SIZE by `TlmmAddr` construction, so the result
+            // stays in bounds (in-page offsets cannot overflow).
             unsafe { base.add(addr.offset()) }
         }
     }
@@ -187,6 +198,8 @@ impl TlmmRegion {
             "read through unmapped TLMM page {}",
             addr.page()
         );
+        // SAFETY: non-null `resolve` results point into a live mapped
+        // page; `&self` means no concurrent `write_byte` on this region.
         unsafe { *p }
     }
 
@@ -202,6 +215,8 @@ impl TlmmRegion {
             "write through unmapped TLMM page {}",
             addr.page()
         );
+        // SAFETY: as in `read_byte`, and `&mut self` makes the write
+        // exclusive.
         unsafe { *p = val }
     }
 }
@@ -319,6 +334,7 @@ mod tests {
         region.pmap(0, &[b]);
         // Fresh page is zeroed; old data lives on page `a` only.
         assert_eq!(region.read_byte(TlmmAddr(0)), 0);
+        // SAFETY: page `a` is still live (freed below, after the read).
         unsafe { assert_eq!(*arena.page_base(a), 1) };
         arena.pfree(a);
         arena.pfree(b);

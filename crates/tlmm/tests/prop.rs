@@ -1,10 +1,15 @@
 //! Property tests for the TLMM simulation: a region's view of memory must
 //! always agree with a straightforward model of "page table over an arena".
 
+// Property suites are orders of magnitude too slow under the Miri
+// interpreter; the crates' inline unit tests cover the same paths there.
+#![cfg(not(miri))]
+
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use cilkm_tlmm::{PageArena, PageDesc, TlmmAddr, TlmmRegion, PAGE_SIZE, PD_NULL};
+
 use proptest::prelude::*;
 
 /// Operations a fuzzer can drive against one region.
