@@ -1,0 +1,63 @@
+//! `cilkm-trace` — summarize a recorded scheduler/reducer trace.
+//!
+//! ```sh
+//! cargo run --release --bin cilkm-trace -- bench_out/pbfs_trace.json
+//! cargo run --release --bin cilkm-trace -- bench_out/pbfs_trace_events.csv
+//! ```
+//!
+//! Accepts either export format of `cilkm-obs` (Chrome `trace_event`
+//! JSON, as written by `write_chrome_json`, or the lossless events CSV)
+//! and prints the per-worker utilization / steal / merge-critical-path /
+//! crossings-per-steal summary from `cilkm_obs::analyze`.
+
+use std::process::ExitCode;
+
+use cilkm_obs::export::{read_chrome_json, read_events_csv};
+use cilkm_obs::{analyze, Trace};
+
+fn parse(path: &str, text: &str) -> Result<Trace, String> {
+    // Chrome traces start with the `traceEvents` envelope; anything else
+    // is treated as the CSV format.
+    if text.trim_start().starts_with('{') {
+        read_chrome_json(text)
+    } else {
+        read_events_csv(text)
+    }
+    .map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: cilkm-trace <trace.json | events.csv>...");
+        eprintln!("  summarizes traces recorded by a `trace`-enabled cilkm build");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match parse(path, &text) {
+            Ok(trace) => {
+                println!("# {path}");
+                print!("{}", analyze::render(&analyze::summarize(&trace)));
+                println!();
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,74 @@
+//! CI gate: event tracing must be (nearly) free where it matters.
+//!
+//! ```sh
+//! cargo run --release --features trace --bin trace_overhead
+//! ```
+//!
+//! Runs the repeated-lookup microbenchmark (the Figure 1 tight loop,
+//! one add-reducer on one worker — the hottest path in the system) with
+//! tracing disabled and enabled, min-of-rounds, and **fails** if the
+//! enabled run is more than 3% slower. The tracer deliberately emits no
+//! event on the lookup fast path, so the only admissible cost is ambient
+//! (cache pressure from other emit sites); this binary is the regression
+//! fence for that design decision.
+//!
+//! Without the `trace` feature the two runs compile to identical code
+//! (emit is a no-op); the comparison still runs and the absolute
+//! ns/lookup printed is the number to check against the repeated-lookup
+//! baseline (~2.25 ns on the reference host).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cilkm_bench::micro::run_add_tight;
+use cilkm_core::Backend;
+use cilkm_obs::trace;
+
+const ROUNDS: usize = 7;
+const LOOKUPS: u64 = 1 << 25;
+
+/// Minimum over `ROUNDS` runs with tracing forced to `on`.
+fn min_ns_per_lookup(on: bool) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..ROUNDS {
+        trace::set_enabled(on);
+        let d = run_add_tight(Backend::Mmap, 1, LOOKUPS);
+        trace::set_enabled(false);
+        best = best.min(d);
+    }
+    best.as_nanos() as f64 / LOOKUPS as f64
+}
+
+fn main() -> ExitCode {
+    let max_pct: f64 = std::env::var("CILKM_OVERHEAD_MAX_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+
+    println!(
+        "trace feature compiled: {} (emit is {} on the lookup path)",
+        trace::compiled(),
+        if trace::compiled() {
+            "one relaxed load when disabled, nothing when enabled"
+        } else {
+            "a no-op"
+        }
+    );
+
+    // One throwaway warm-up round so neither arm pays first-touch costs.
+    let _ = run_add_tight(Backend::Mmap, 1, LOOKUPS / 4);
+
+    let off = min_ns_per_lookup(false);
+    let on = min_ns_per_lookup(true);
+    let pct = (on - off) / off * 100.0;
+    println!("untraced: {off:.3} ns/lookup (min of {ROUNDS} x {LOOKUPS} lookups)");
+    println!("traced:   {on:.3} ns/lookup");
+    println!("overhead: {pct:+.2}% (gate: <{max_pct}%)");
+
+    if pct >= max_pct {
+        eprintln!("FAIL: tracing adds {pct:.2}% to the repeated-lookup hot path");
+        return ExitCode::FAILURE;
+    }
+    println!("PASS");
+    ExitCode::SUCCESS
+}

@@ -12,7 +12,7 @@ use cilkm_runtime::{HyperHooks, Pool, PoolBuilder, PoolStats};
 use cilkm_spa::SpaMapBox;
 use cilkm_tlmm::PageArena;
 
-use crate::instrument::{Instrument, InstrumentSnapshot};
+use crate::instrument::{Instrument, InstrumentSnapshot, ReduceHistograms};
 use crate::monoid::MonoidInstance;
 
 /// Which reducer mechanism a pool runs.
@@ -93,6 +93,11 @@ impl DomainInner {
     /// Instrumentation totals for the domain.
     pub fn instrument(&self) -> InstrumentSnapshot {
         self.instrument.snapshot()
+    }
+
+    /// The four §8 overhead categories as latency distributions.
+    pub fn overhead_histograms(&self) -> ReduceHistograms {
+        self.instrument.histograms()
     }
 
     pub(crate) fn alloc_slot(&self) -> Slot {
@@ -204,6 +209,29 @@ impl DomainInner {
     }
 }
 
+impl cilkm_obs::MetricsSource for DomainInner {
+    fn collect(&self, out: &mut cilkm_obs::metrics::MetricsCollector) {
+        let i = &self.instrument;
+        out.counter("lookups", i.lookups.get());
+        out.counter("view_creations", i.view_creations.get());
+        out.counter("view_insertions", i.view_insertions.get());
+        out.counter("transferals", i.transferals.get());
+        out.counter("transferal_views", i.transferal_views.get());
+        out.counter("merges", i.merges.get());
+        out.counter("merge_pairs", i.merge_pairs.get());
+        out.counter("log_overflows", i.log_overflows.get());
+        out.histogram("view_creation_ns", i.view_creation_ns.snapshot());
+        out.histogram("view_insertion_ns", i.view_insertion_ns.snapshot());
+        out.histogram("transferal_ns", i.transferal_ns.snapshot());
+        out.histogram("merge_ns", i.merge_ns.snapshot());
+        let c = self.arena.crossings().snapshot();
+        out.counter("palloc_calls", c.palloc_calls);
+        out.counter("pfree_calls", c.pfree_calls);
+        out.counter("pmap_calls", c.pmap_calls);
+        out.counter("pmap_pages", c.pmap_pages);
+    }
+}
+
 /// A guard for serial (outside-region or serial-point) accesses to one
 /// reducer: panics on concurrent serial access rather than racing.
 pub(crate) struct SerialBorrow<'a> {
@@ -244,6 +272,13 @@ impl ReducerPool {
     /// As [`ReducerPool::new`] with an explicit worker stack size.
     pub fn with_stack_size(threads: usize, backend: Backend, stack: usize) -> ReducerPool {
         let domain = Arc::new(DomainInner::new(backend));
+        let base = match backend {
+            Backend::Hypermap => "domain.hypermap",
+            Backend::Mmap => "domain.mmap",
+        };
+        let weak = Arc::downgrade(&domain);
+        cilkm_obs::metrics::global()
+            .register(base, weak as std::sync::Weak<dyn cilkm_obs::MetricsSource>);
         let hooks: Arc<dyn HyperHooks> = match backend {
             Backend::Hypermap => Arc::new(crate::hypermap::HypermapHooks::new(Arc::clone(&domain))),
             Backend::Mmap => Arc::new(crate::mmap::MmapHooks::new(Arc::clone(&domain))),
@@ -263,6 +298,17 @@ impl ReducerPool {
         R: Send,
     {
         self.pool.run(f)
+    }
+
+    /// As [`ReducerPool::run`], additionally collecting the scheduler and
+    /// reducer event trace of the region (empty without the `trace`
+    /// feature; see `cilkm_runtime::Pool::run_traced` for caveats).
+    pub fn run_traced<F, R>(&self, f: F) -> (R, cilkm_obs::Trace)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.pool.run_traced(f)
     }
 
     /// Number of workers.
@@ -288,6 +334,12 @@ impl ReducerPool {
     /// Reducer-mechanism instrumentation totals.
     pub fn instrument(&self) -> InstrumentSnapshot {
         self.domain.instrument()
+    }
+
+    /// The four §8 overhead categories as latency distributions (the
+    /// histogram sums are the [`InstrumentSnapshot`] nanosecond totals).
+    pub fn overhead_histograms(&self) -> ReduceHistograms {
+        self.domain.overhead_histograms()
     }
 }
 
@@ -347,6 +399,28 @@ mod tests {
         let flag = AtomicBool::new(false);
         let _a = SerialBorrow::acquire(&flag);
         let _b = SerialBorrow::acquire(&flag);
+    }
+
+    #[test]
+    fn domain_appears_in_the_global_metrics_registry() {
+        let pool = ReducerPool::new(2, Backend::Mmap);
+        pool.run(|| ());
+        let snap = cilkm_obs::metrics::global().snapshot();
+        // Other tests register domains concurrently, so just require that
+        // some mmap domain exports the expected counter and histogram
+        // vocabulary (prefixes are uniquified as domain.mmap, #2, ...).
+        assert!(
+            snap.values
+                .keys()
+                .any(|k| k.starts_with("domain.mmap") && k.ends_with(".lookups")),
+            "no domain.mmap*.lookups key in {:?}",
+            snap.values.keys().collect::<Vec<_>>()
+        );
+        assert!(snap
+            .values
+            .keys()
+            .any(|k| k.starts_with("domain.mmap") && k.ends_with(".merge_ns")));
+        drop(pool);
     }
 
     #[test]

@@ -14,7 +14,6 @@ pub use table::HyperMap;
 
 use std::any::Any;
 use std::cell::Cell;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use cilkm_runtime::{DetachedViews, HyperHooks};
@@ -57,10 +56,7 @@ impl HypermapWorkerState {
     fn flush_lookups(&self) {
         let n = self.lookups.take();
         if n != 0 {
-            self.domain
-                .instrument
-                .lookups
-                .fetch_add(n, Ordering::Relaxed);
+            self.domain.instrument.lookups.add(n);
         }
     }
 
@@ -150,10 +146,7 @@ fn lookup_miss(
         // Create an identity view (user code — no state borrow held).
         let t0 = std::time::Instant::now();
         let view = inst.identity();
-        domain
-            .instrument
-            .view_creations
-            .fetch_add(1, Ordering::Relaxed);
+        domain.instrument.view_creations.inc();
         Instrument::add_short_ns(&domain.instrument.view_creation_ns, t0);
 
         let t1 = std::time::Instant::now();
@@ -165,10 +158,7 @@ fn lookup_miss(
                 monoid: inst.as_erased(),
             },
         );
-        domain
-            .instrument
-            .view_insertions
-            .fetch_add(1, Ordering::Relaxed);
+        domain.instrument.view_insertions.inc();
         Instrument::add_short_ns(&domain.instrument.view_insertion_ns, t1);
         (*ptr).last.set((key, view));
         Some(view)
@@ -236,8 +226,8 @@ impl HyperHooks for HypermapHooks {
         let map = std::mem::replace(&mut st.current, Box::new(HyperMap::new()));
         let n = map.len() as u64;
         if n != 0 {
-            self.ins().transferals.fetch_add(1, Ordering::Relaxed);
-            self.ins().transferal_views.fetch_add(n, Ordering::Relaxed);
+            self.ins().transferals.inc();
+            self.ins().transferal_views.add(n);
         }
         Instrument::add_ns(&self.ins().transferal_ns, t0);
         // `map` is already a heap allocation; hand it over as-is.
@@ -266,7 +256,7 @@ impl HyperHooks for HypermapHooks {
         // raw-pointer hop only shortens the borrow, per the comment.
         unsafe { (*st).forget_last() };
         let t0 = crate::instrument::thread_time_ns();
-        self.ins().merges.fetch_add(1, Ordering::Relaxed);
+        self.ins().merges.inc();
 
         // SAFETY: `st` is exclusively ours (see above); every `&mut` is
         // re-derived between `reduce_into` calls so user reduce code may
@@ -279,7 +269,7 @@ impl HyperHooks for HypermapHooks {
                     let existing = (*st).current.get(key);
                     match existing {
                         Some(lpair) => {
-                            self.ins().merge_pairs.fetch_add(1, Ordering::Relaxed);
+                            self.ins().merge_pairs.inc();
                             MonoidInstance::from_erased(rpair.monoid)
                                 .reduce_into(lpair.view, rpair.view);
                         }
@@ -295,7 +285,7 @@ impl HyperHooks for HypermapHooks {
                 for (key, slot, lpair) in drained {
                     match right.remove(key) {
                         Some(rpair) => {
-                            self.ins().merge_pairs.fetch_add(1, Ordering::Relaxed);
+                            self.ins().merge_pairs.inc();
                             MonoidInstance::from_erased(lpair.monoid)
                                 .reduce_into(lpair.view, rpair.view);
                             right.insert(key, slot, lpair);
@@ -328,6 +318,17 @@ impl HyperHooks for HypermapHooks {
     }
 
     fn discard(&self, views: DetachedViews) {
+        // Discard runs on a panic path, where the current context may
+        // unwind without ever reaching a detach/collect; flush the
+        // calling worker's hot-path lookup count here so the domain
+        // totals stay exact even when one side of a join panics.
+        let ptr = HYPERMAP_TLS.with(|c| c.get());
+        if !ptr.is_null() {
+            // SAFETY: the TLS pointer is the calling worker's live state;
+            // `flush_lookups` takes `&self` and only touches the `Cell`
+            // counter and shared atomics.
+            unsafe { (*ptr).flush_lookups() };
+        }
         let mut map = *views.downcast::<HyperMap>().expect("hypermap views");
         for (_, _, pair) in map.drain() {
             // SAFETY: each drained pair stores the erased address of the

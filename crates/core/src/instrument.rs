@@ -15,13 +15,17 @@
 //! * **hypermerge** — sequencing one view set against another and running
 //!   the monoid reduce operations.
 //!
-//! All four live on steal paths (cold), so they carry nanosecond timers as
-//! well as counts. The lookup counter is on the hot path; it is a plain
+//! All four live on steal paths (cold), so they carry nanosecond timers
+//! as well as counts. Since the observability PR the timers are
+//! [`Histogram`]s (one sample per operation, log2 ns buckets), so each
+//! category is a latency *distribution*; the old nanosecond totals are
+//! the histogram sums and still come out of [`Instrument::snapshot`]
+//! unchanged. The lookup counter is on the hot path; it is a plain
 //! per-worker `Cell` increment, flushed into the shared totals at
-//! view-transferal/collect time, so it costs the same negligible constant
-//! under both backends.
+//! view-transferal/collect time (and on the discard path after a panic),
+//! so it costs the same negligible constant under both backends.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cilkm_obs::metrics::{Counter, Histogram, HistogramSnapshot};
 
 /// Whether hot-path (per-lookup) counting is compiled in. The cold,
 /// steal-path counters above are always live — they are off the critical
@@ -31,33 +35,37 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// builds keep it so counter-asserting tests work under `cargo test`).
 pub(crate) const COUNT_LOOKUPS: bool = cfg!(any(debug_assertions, feature = "instrument"));
 
-/// Shared (per-domain) instrumentation totals.
+/// Shared (per-domain) instrumentation totals, on the unified
+/// `cilkm-obs` metric primitives: counts are [`Counter`]s, the four §8
+/// overhead categories are [`Histogram`]s of per-operation latencies.
 #[derive(Default)]
 pub struct Instrument {
     /// Reducer lookups (hot-path counter, flushed from workers).
-    pub lookups: AtomicU64,
+    pub lookups: Counter,
     /// Identity views created.
-    pub view_creations: AtomicU64,
-    /// Nanoseconds spent creating identity views.
-    pub view_creation_ns: AtomicU64,
+    pub view_creations: Counter,
+    /// Per-creation latency; `.sum` is the Figure 8 view-creation total.
+    pub view_creation_ns: Histogram,
     /// Views inserted into a context map.
-    pub view_insertions: AtomicU64,
-    /// Nanoseconds spent inserting views.
-    pub view_insertion_ns: AtomicU64,
+    pub view_insertions: Counter,
+    /// Per-insertion latency; `.sum` is the Figure 8 insertion total.
+    pub view_insertion_ns: Histogram,
     /// View transferal operations (detaches with at least the empty set).
-    pub transferals: AtomicU64,
+    pub transferals: Counter,
     /// View pointers copied by transferal.
-    pub transferal_views: AtomicU64,
-    /// Nanoseconds spent in view transferal.
-    pub transferal_ns: AtomicU64,
+    pub transferal_views: Counter,
+    /// Per-transferal latency (detach and attach each contribute one
+    /// sample); `.sum` is the Figure 8 transferal total.
+    pub transferal_ns: Histogram,
     /// Hypermerge operations.
-    pub merges: AtomicU64,
+    pub merges: Counter,
     /// View pairs reduced by hypermerges.
-    pub merge_pairs: AtomicU64,
-    /// Nanoseconds spent in hypermerges (including monoid operations).
-    pub merge_ns: AtomicU64,
+    pub merge_pairs: Counter,
+    /// Per-hypermerge latency (including monoid operations); `.sum` is
+    /// the Figure 8 hypermerge total.
+    pub merge_ns: Histogram,
     /// SPA-map log overflows observed (memory-mapped backend only).
-    pub log_overflows: AtomicU64,
+    pub log_overflows: Counter,
 }
 
 impl Instrument {
@@ -66,26 +74,39 @@ impl Instrument {
         Instrument::default()
     }
 
-    /// Atomically reads all counters.
+    /// Atomically reads all counters (histogram fields read as their
+    /// sample sums, preserving the pre-histogram totals format).
     pub fn snapshot(&self) -> InstrumentSnapshot {
         InstrumentSnapshot {
-            lookups: self.lookups.load(Ordering::Relaxed),
-            view_creations: self.view_creations.load(Ordering::Relaxed),
-            view_creation_ns: self.view_creation_ns.load(Ordering::Relaxed),
-            view_insertions: self.view_insertions.load(Ordering::Relaxed),
-            view_insertion_ns: self.view_insertion_ns.load(Ordering::Relaxed),
-            transferals: self.transferals.load(Ordering::Relaxed),
-            transferal_views: self.transferal_views.load(Ordering::Relaxed),
-            transferal_ns: self.transferal_ns.load(Ordering::Relaxed),
-            merges: self.merges.load(Ordering::Relaxed),
-            merge_pairs: self.merge_pairs.load(Ordering::Relaxed),
-            merge_ns: self.merge_ns.load(Ordering::Relaxed),
-            log_overflows: self.log_overflows.load(Ordering::Relaxed),
+            lookups: self.lookups.get(),
+            view_creations: self.view_creations.get(),
+            view_creation_ns: self.view_creation_ns.snapshot().sum,
+            view_insertions: self.view_insertions.get(),
+            view_insertion_ns: self.view_insertion_ns.snapshot().sum,
+            transferals: self.transferals.get(),
+            transferal_views: self.transferal_views.get(),
+            transferal_ns: self.transferal_ns.snapshot().sum,
+            merges: self.merges.get(),
+            merge_pairs: self.merge_pairs.get(),
+            merge_ns: self.merge_ns.snapshot().sum,
+            log_overflows: self.log_overflows.get(),
         }
     }
 
-    pub(crate) fn add_ns(counter: &AtomicU64, start_ns: u64) {
-        counter.fetch_add(thread_time_ns().saturating_sub(start_ns), Ordering::Relaxed);
+    /// The four overhead categories as full latency distributions.
+    pub fn histograms(&self) -> ReduceHistograms {
+        ReduceHistograms {
+            view_creation: self.view_creation_ns.snapshot(),
+            view_insertion: self.view_insertion_ns.snapshot(),
+            transferal: self.transferal_ns.snapshot(),
+            hypermerge: self.merge_ns.snapshot(),
+        }
+    }
+
+    /// Records one operation sample: thread CPU time elapsed since
+    /// `start_ns` (a [`thread_time_ns`] reading).
+    pub(crate) fn add_ns(hist: &Histogram, start_ns: u64) {
+        hist.record(thread_time_ns().saturating_sub(start_ns));
     }
 
     /// Timer for the *short* per-view windows (creation, insertion):
@@ -94,10 +115,9 @@ impl Instrument {
     /// sample capped so that a preemption landing inside the window on an
     /// oversubscribed host cannot charge a whole scheduling quantum to a
     /// sub-microsecond operation.
-    pub(crate) fn add_short_ns(counter: &AtomicU64, since: std::time::Instant) {
+    pub(crate) fn add_short_ns(hist: &Histogram, since: std::time::Instant) {
         const CAP_NS: u64 = 10_000;
-        let ns = (since.elapsed().as_nanos() as u64).min(CAP_NS);
-        counter.fetch_add(ns, Ordering::Relaxed);
+        hist.record((since.elapsed().as_nanos() as u64).min(CAP_NS));
     }
 }
 
@@ -206,6 +226,21 @@ pub struct ReduceBreakdown {
     pub hypermerge_ns: u64,
 }
 
+/// The four Figure 8 categories as per-operation latency distributions
+/// (each snapshot's `.sum` equals the matching [`ReduceBreakdown`]
+/// total; `.count` is the operation count).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ReduceHistograms {
+    /// Identity-view creation latencies.
+    pub view_creation: HistogramSnapshot,
+    /// Context-map insertion latencies.
+    pub view_insertion: HistogramSnapshot,
+    /// View-transferal (detach/attach) latencies.
+    pub transferal: HistogramSnapshot,
+    /// Hypermerge latencies (including monoid operations).
+    pub hypermerge: HistogramSnapshot,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,18 +261,34 @@ mod tests {
     #[test]
     fn snapshot_since_and_totals() {
         let ins = Instrument::new();
-        ins.lookups.store(100, Ordering::Relaxed);
-        ins.view_creation_ns.store(10, Ordering::Relaxed);
-        ins.view_insertion_ns.store(20, Ordering::Relaxed);
-        ins.transferal_ns.store(30, Ordering::Relaxed);
-        ins.merge_ns.store(40, Ordering::Relaxed);
+        ins.lookups.add(100);
+        ins.view_creation_ns.record(10);
+        ins.view_insertion_ns.record(20);
+        ins.transferal_ns.record(30);
+        ins.merge_ns.record(40);
         let a = ins.snapshot();
         assert_eq!(a.reduce_overhead_ns(), 100);
-        ins.lookups.store(150, Ordering::Relaxed);
+        ins.lookups.add(50);
         let b = ins.snapshot();
         assert_eq!(b.since(&a).lookups, 50);
         let bd = a.breakdown();
         assert_eq!(bd.view_creation_ns, 10);
         assert_eq!(bd.hypermerge_ns, 40);
+    }
+
+    #[test]
+    fn histogram_sums_are_the_breakdown_totals() {
+        let ins = Instrument::new();
+        ins.view_creation_ns.record(100);
+        ins.view_creation_ns.record(900);
+        ins.merge_ns.record(5_000);
+        let h = ins.histograms();
+        assert_eq!(h.view_creation.count, 2);
+        assert_eq!(h.view_creation.sum, 1_000);
+        assert_eq!(h.hypermerge.count, 1);
+        let snap = ins.snapshot();
+        assert_eq!(snap.view_creation_ns, h.view_creation.sum);
+        assert_eq!(snap.merge_ns, h.hypermerge.sum);
+        assert_eq!(snap.reduce_overhead_ns(), 6_000);
     }
 }

@@ -25,7 +25,6 @@
 
 use std::any::Any;
 use std::cell::Cell;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use cilkm_runtime::{DetachedViews, HyperHooks};
@@ -167,10 +166,7 @@ impl MmapWorkerState {
     fn flush_lookups(&self) {
         let n = self.lookups.take();
         if n != 0 {
-            self.domain
-                .instrument
-                .lookups
-                .fetch_add(n, Ordering::Relaxed);
+            self.domain.instrument.lookups.add(n);
         }
     }
 
@@ -344,10 +340,7 @@ fn lookup_miss(
 
         let t0 = std::time::Instant::now();
         let view = inst.identity();
-        domain
-            .instrument
-            .view_creations
-            .fetch_add(1, Ordering::Relaxed);
+        domain.instrument.view_creations.inc();
         Instrument::add_short_ns(&domain.instrument.view_creation_ns, t0);
 
         let t1 = std::time::Instant::now();
@@ -359,16 +352,10 @@ fn lookup_miss(
             },
         );
         if outcome == InsertOutcome::Overflowed {
-            domain
-                .instrument
-                .log_overflows
-                .fetch_add(1, Ordering::Relaxed);
+            domain.instrument.log_overflows.inc();
         }
         (*ptr).current_views += 1;
-        domain
-            .instrument
-            .view_insertions
-            .fetch_add(1, Ordering::Relaxed);
+        domain.instrument.view_insertions.inc();
         Instrument::add_short_ns(&domain.instrument.view_insertion_ns, t1);
         (*ptr).last.set(LastLookup {
             domain,
@@ -464,10 +451,8 @@ impl HyperHooks for MmapHooks {
             st.current_views = 0;
         }
         if count != 0 {
-            self.ins().transferals.fetch_add(1, Ordering::Relaxed);
-            self.ins()
-                .transferal_views
-                .fetch_add(count as u64, Ordering::Relaxed);
+            self.ins().transferals.inc();
+            self.ins().transferal_views.add(count as u64);
         }
         Instrument::add_ns(&self.ins().transferal_ns, t0);
         Box::new(MmapDetached { maps, count })
@@ -502,7 +487,7 @@ impl HyperHooks for MmapHooks {
         // raw-pointer hop only shortens the borrow, per the comment.
         unsafe { (*st).forget_last() };
         let t0 = crate::instrument::thread_time_ns();
-        self.ins().merges.fetch_add(1, Ordering::Relaxed);
+        self.ins().merges.inc();
         let mut pairs_reduced = 0u64;
 
         // SAFETY: `st` is exclusively ours (see above); every `&mut` is
@@ -587,9 +572,7 @@ impl HyperHooks for MmapHooks {
                 (*st).current_views = total;
             }
         }
-        self.ins()
-            .merge_pairs
-            .fetch_add(pairs_reduced, Ordering::Relaxed);
+        self.ins().merge_pairs.add(pairs_reduced);
         Instrument::add_ns(&self.ins().merge_ns, t0);
     }
 
@@ -617,6 +600,17 @@ impl HyperHooks for MmapHooks {
     }
 
     fn discard(&self, views: DetachedViews) {
+        // Discard runs on a panic path, where the current context may
+        // unwind without ever reaching a detach/collect; flush the
+        // calling worker's hot-path lookup count here so the domain
+        // totals stay exact even when one side of a join panics.
+        let tls = MMAP_TLS.with(|c| c.get());
+        if !tls.state.is_null() {
+            // SAFETY: the TLS snapshot points at the calling worker's
+            // live state; `flush_lookups` takes `&self` and only touches
+            // the `Cell` counter and shared atomics.
+            unsafe { (*tls.state).flush_lookups() };
+        }
         let det = *views.downcast::<MmapDetached>().expect("mmap views");
         for (_, public) in det.maps {
             // SAFETY: each pair stores the erased address of the live

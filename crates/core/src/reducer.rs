@@ -175,11 +175,7 @@ impl<M: Monoid> Reducer<M> {
     fn update_serial<R>(&self, f: impl FnOnce(&mut M::View) -> R) -> R {
         let inner = &*self.inner;
         let _borrow = SerialBorrow::acquire(&inner.serial_flag);
-        inner
-            .domain
-            .instrument
-            .lookups
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        inner.domain.instrument.lookups.inc();
         let entry = inner
             .domain
             .leftmost_entry(inner.slot)
@@ -426,6 +422,50 @@ mod tests {
             });
             let snap = pool.instrument();
             assert!(snap.lookups >= 500, "lookups={}", snap.lookups);
+        }
+    }
+
+    /// Satellite of the observability PR: the per-worker hot-path lookup
+    /// `Cell`s must be flushed on the `discard` (panic) path too, so the
+    /// domain totals are *exact* even when one side of a join panics.
+    #[test]
+    #[cfg(any(debug_assertions, feature = "instrument"))]
+    fn lookup_totals_exact_when_one_side_of_a_join_panics() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        for pool in both_backends() {
+            let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
+            let running = AtomicBool::new(false);
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|| {
+                    join(
+                        || {
+                            // Hold the owner in user code until the right
+                            // side runs on the thief, so its views come
+                            // back as a deposit and the failed merge takes
+                            // the `discard` path.
+                            while !running.load(Ordering::Acquire) {
+                                std::hint::spin_loop();
+                            }
+                            for _ in 0..500 {
+                                r.update(|v| *v += 1);
+                            }
+                            panic!("left dies after 500 lookups");
+                        },
+                        || {
+                            running.store(true, Ordering::Release);
+                            for _ in 0..300 {
+                                r.update(|v| *v += 1);
+                            }
+                        },
+                    );
+                })
+            }));
+            assert!(res.is_err(), "the left panic must propagate");
+            let snap = pool.instrument();
+            assert_eq!(
+                snap.lookups, 800,
+                "500 owner + 300 thief lookups must all be flushed"
+            );
         }
     }
 

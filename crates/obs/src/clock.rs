@@ -1,0 +1,69 @@
+//! The tracer's timestamp source.
+//!
+//! Trace events carry *monotonic wall time* in nanoseconds since an
+//! arbitrary process-wide anchor (the first call). Rationale:
+//!
+//! * Cross-worker alignment is the whole point of a trace — per-thread
+//!   CPU clocks (which the §8 overhead *totals* use, see
+//!   `cilkm-core::instrument`) drift apart the moment a worker sleeps,
+//!   so they cannot order events across workers.
+//! * `clock_gettime(CLOCK_MONOTONIC)` is a vDSO call (~20 ns), cheap
+//!   enough for cold scheduler events (steals, parks, merges). Nothing
+//!   on the reducer-lookup fast path reads this clock.
+//!
+//! The anchor is process-wide, so timestamps from different pools and
+//! threads are directly comparable and exporters only need one origin.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds of monotonic wall time since the process-wide anchor.
+///
+/// The first call (from any thread) establishes the anchor, so early
+/// timestamps can be small but are never negative, and all later calls
+/// across all threads share the same origin.
+#[inline]
+pub fn now_ns() -> u64 {
+    ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Forces the anchor to be established now (e.g. at pool construction),
+/// so the first traced event does not pay the one-time `OnceLock`
+/// initialization inside a measured region.
+pub fn warm_up() {
+    let _ = now_ns();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_across_calls() {
+        warm_up();
+        let a = now_ns();
+        let b = now_ns();
+        let c = now_ns();
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn clock_advances_under_sleep() {
+        let a = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = now_ns();
+        assert!(b - a >= 1_000_000, "2ms sleep should advance >= 1ms");
+    }
+
+    #[test]
+    fn clock_is_shared_across_threads() {
+        let a = now_ns();
+        let b = std::thread::spawn(now_ns).join().unwrap();
+        let c = now_ns();
+        // The spawned thread's reading uses the same anchor, so it lands
+        // between two readings on this thread.
+        assert!(a <= b && b <= c);
+    }
+}

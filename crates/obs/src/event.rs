@@ -1,0 +1,146 @@
+//! Compact binary trace events.
+//!
+//! One event is 24 bytes: a nanosecond timestamp ([`crate::clock`]), a
+//! kind byte, and one argument word whose meaning depends on the kind
+//! (victim index for steals, page count for `pmap`, and so on). Events
+//! are written into per-thread ring buffers ([`crate::ring`]) and only
+//! decoded at export/analysis time.
+
+/// What happened. The discriminants are stable (they appear in exported
+/// CSV files), so new kinds must be appended, not inserted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A `Pool::run` region started (emitted on the calling thread).
+    RegionBegin = 0,
+    /// A `Pool::run` region completed.
+    RegionEnd = 1,
+    /// A steal committed; `arg` = victim worker index.
+    StealSuccess = 2,
+    /// A full steal sweep found nothing. Emitted once per *idle episode*
+    /// (the first failed sweep after useful work), not per sweep — the
+    /// per-sweep total lives in the pool's `failed_steals` counter, and
+    /// per-sweep events would flood the ring while workers spin.
+    StealFail = 3,
+    /// A foreign job (stolen, injected, or leapfrogged) started.
+    JobBegin = 4,
+    /// The foreign job finished (after its view transferal).
+    JobEnd = 5,
+    /// View transferal out of the current context. `arg` = 0 for a
+    /// detach (views published to a join frame), 1 for a suspension
+    /// (views set aside for leapfrogging).
+    Detach = 6,
+    /// A view set was re-installed as the current context. `arg` as for
+    /// [`EventKind::Detach`].
+    Attach = 7,
+    /// A hypermerge started at a join.
+    MergeBegin = 8,
+    /// The hypermerge finished.
+    MergeEnd = 9,
+    /// The worker is about to park (all steal attempts failed).
+    Park = 10,
+    /// The worker returned from parking.
+    Wake = 11,
+    /// Simulated `sys_palloc` kernel crossing.
+    Palloc = 12,
+    /// Simulated `sys_pfree` kernel crossing.
+    Pfree = 13,
+    /// Simulated `sys_pmap` kernel crossing; `arg` = pages touched.
+    Pmap = 14,
+}
+
+impl EventKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [EventKind; 15] = [
+        EventKind::RegionBegin,
+        EventKind::RegionEnd,
+        EventKind::StealSuccess,
+        EventKind::StealFail,
+        EventKind::JobBegin,
+        EventKind::JobEnd,
+        EventKind::Detach,
+        EventKind::Attach,
+        EventKind::MergeBegin,
+        EventKind::MergeEnd,
+        EventKind::Park,
+        EventKind::Wake,
+        EventKind::Palloc,
+        EventKind::Pfree,
+        EventKind::Pmap,
+    ];
+
+    /// Stable lower-case name (used in CSV and Chrome trace output).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RegionBegin => "region_begin",
+            EventKind::RegionEnd => "region_end",
+            EventKind::StealSuccess => "steal_success",
+            EventKind::StealFail => "steal_fail",
+            EventKind::JobBegin => "job_begin",
+            EventKind::JobEnd => "job_end",
+            EventKind::Detach => "detach",
+            EventKind::Attach => "attach",
+            EventKind::MergeBegin => "merge_begin",
+            EventKind::MergeEnd => "merge_end",
+            EventKind::Park => "park",
+            EventKind::Wake => "wake",
+            EventKind::Palloc => "palloc",
+            EventKind::Pfree => "pfree",
+            EventKind::Pmap => "pmap",
+        }
+    }
+
+    /// Parses a stable name back into a kind (for trace-file loading).
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Reconstructs a kind from its discriminant.
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        EventKind::ALL.get(v as usize).copied()
+    }
+}
+
+/// One trace event: timestamp, kind, argument.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the process clock anchor ([`crate::clock`]).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific argument (see [`EventKind`] variants).
+    pub arg: u64,
+}
+
+impl Event {
+    /// A placeholder event (ring buffers are initialized with these; a
+    /// reader never observes one because only the written prefix of a
+    /// ring is published).
+    pub const ZERO: Event = Event {
+        ts_ns: 0,
+        kind: EventKind::RegionBegin,
+        arg: 0,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+            assert_eq!(EventKind::from_u8(k as u8), Some(k));
+        }
+        assert_eq!(EventKind::from_name("nonsense"), None);
+        assert_eq!(EventKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn discriminants_are_dense_and_stable() {
+        for (i, k) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(k as u8 as usize, i, "discriminants must stay dense");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # cilkm-obs — runtime observability for the cilkm workspace
+//!
+//! The paper's evaluation (§8, Figures 1 and 8) rests on *decomposing*
+//! reduce overhead — view creation, view insertion, view transferal,
+//! hypermerge — and on *counting* `sys_pmap` kernel crossings. This crate
+//! is the one place all of that telemetry flows through:
+//!
+//! * [`trace`] — a lock-free per-worker **event tracer**: fixed-capacity
+//!   thread-local ring buffers of compact binary [`Event`]s (steal
+//!   success/fail, job begin/end, detach/attach, merge begin/end,
+//!   park/wake, simulated kernel crossings), timestamped with a cheap
+//!   monotonic [`clock`]. Compiled out entirely unless the `trace` cargo
+//!   feature is on; runtime-switchable on top of that.
+//! * [`metrics`] — a **metrics registry** that unifies the reducer
+//!   instrumentation (`cilkm-core`), kernel-crossing counters
+//!   (`cilkm-tlmm`), and scheduler counters (`cilkm-runtime`) behind one
+//!   snapshot/diff API, with log2-bucketed latency [`Histogram`]s for
+//!   the four §8 overhead categories.
+//! * [`export`] — Chrome `trace_event` JSON (loads in Perfetto /
+//!   `chrome://tracing`) and flat CSV/JSON dumps for `bench_out/`.
+//! * [`analyze`] — the summarizer behind the `cilkm-trace` binary:
+//!   per-worker utilization, steal/idle breakdown, merge critical-path
+//!   estimate, crossings per steal.
+//!
+//! Layering: this crate sits *below* `cilkm-tlmm`, `cilkm-runtime`, and
+//! `cilkm-core`, all of which emit into it; it depends on nothing but
+//! (optionally) `cilkm-checker` for model-checking its ring buffer.
+//!
+//! [`Event`]: event::Event
+//! [`Histogram`]: metrics::Histogram
+
+#![deny(missing_docs)]
+
+pub mod analyze;
+pub mod clock;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod ring;
+pub mod trace;
+
+pub(crate) mod msync;
+
+#[cfg(all(test, feature = "model"))]
+mod model_tests;
+
+pub use event::{Event, EventKind};
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
+    MetricsSource,
+};
+pub use trace::{ThreadTrace, Trace};

@@ -1,0 +1,509 @@
+//! The unified metrics layer.
+//!
+//! Before this crate, each layer kept its own grab-bag of `AtomicU64`s:
+//! `cilkm-core::instrument` for the §8 reduce-overhead totals,
+//! `cilkm-tlmm::stats` for kernel-crossing counts, the runtime's
+//! `WorkerStats` for steals. This module gives them one vocabulary:
+//!
+//! * [`Counter`] — a monotonic `u64`.
+//! * [`Histogram`] — log2-bucketed latency distribution (bucket `i > 0`
+//!   covers `[2^(i-1), 2^i)` ns; bucket 0 is exactly zero), so the §8
+//!   overhead categories come out as distributions, not just totals.
+//! * [`MetricsSource`] — anything that can dump its current values.
+//! * [`MetricsRegistry`] — where sources register; producing a
+//!   [`MetricsSnapshot`] that supports [`MetricsSnapshot::since`]
+//!   (diffing two snapshots isolates one benchmark phase) and CSV/JSON
+//!   export.
+//!
+//! Counters and histograms deliberately use `std` atomics, not the
+//! model checker's recorded atomics: they are monitoring data with no
+//! ordering obligations (all `Relaxed`), and routing them through the
+//! checker would explode model state spaces for no verification value.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, Weak};
+
+/// Number of log2 buckets in a [`Histogram`]; covers the full `u64`
+/// range (bucket 63 absorbs everything at and above `2^62`).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonic counter. All operations are `Relaxed`: values are
+/// monitoring data, never synchronization.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zero counter (const, usable in statics).
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value (used for gauges like high-water marks that
+    /// are maintained single-writer and only read cross-thread).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// Returns the bucket index a value falls into: 0 for 0, otherwise
+/// `floor(log2(v)) + 1`, capped at the last bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (latencies in ns, sizes in
+/// pages, ...). Thread-safe; recording is two `Relaxed` RMWs plus one on
+/// the bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram (const, usable in statics).
+    pub const fn new() -> Histogram {
+        // `AtomicU64` is not `Copy`; build the array from an inline const.
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_lower_bound`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The samples recorded since `earlier` (per-bucket saturating
+    /// difference, so a mismatched pair degrades rather than panics).
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, (now, then)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *out = now.saturating_sub(*then);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the smallest bucket prefix holding at least
+    /// `q` (in `0.0..=1.0`) of the samples — a coarse quantile, exact to
+    /// the log2 bucket. Returns 0 for an empty histogram.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return if i + 1 < HISTOGRAM_BUCKETS {
+                    bucket_lower_bound(i + 1)
+                } else {
+                    u64::MAX
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// One exported metric value.
+///
+/// The histogram variant is ~0.5 KiB (64 buckets), far larger than the
+/// counter variant, but values live briefly inside snapshot maps and
+/// staying `Copy` keeps the diffing/export code simple — boxing would
+/// buy nothing here.
+#[allow(clippy::large_enum_variant)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A plain counter/gauge reading.
+    Counter(u64),
+    /// A histogram reading.
+    Histogram(HistogramSnapshot),
+}
+
+/// The sink a [`MetricsSource`] dumps into. Prefixes every name with the
+/// source's registered prefix, so sources never collide.
+pub struct MetricsCollector {
+    prefix: String,
+    map: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsCollector {
+    /// Records a counter/gauge value under `name`.
+    pub fn counter(&mut self, name: &str, v: u64) {
+        self.map
+            .insert(format!("{}.{}", self.prefix, name), MetricValue::Counter(v));
+    }
+
+    /// Records a histogram reading under `name`.
+    pub fn histogram(&mut self, name: &str, h: HistogramSnapshot) {
+        self.map.insert(
+            format!("{}.{}", self.prefix, name),
+            MetricValue::Histogram(h),
+        );
+    }
+}
+
+/// Anything that can report its current metric values. Implemented by
+/// the reducer domain (`cilkm-core`), the page arena (`cilkm-tlmm`), and
+/// the worker pool (`cilkm-runtime`).
+pub trait MetricsSource: Send + Sync {
+    /// Dumps every current value into `out`.
+    fn collect(&self, out: &mut MetricsCollector);
+}
+
+/// The process-wide list of metric sources.
+///
+/// Sources register a `Weak` handle under a base name and get back a
+/// unique prefix (`pool`, `pool#2`, ...); dropping the source simply
+/// makes it disappear from later snapshots, so registration never keeps
+/// a domain or pool alive.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    sources: Mutex<Vec<(String, Weak<dyn MetricsSource>)>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry (tests use private registries; production
+    /// code uses [`global`]).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers a source under `base`, returning the unique prefix its
+    /// metrics will appear under. Dead sources are pruned on the way.
+    pub fn register(&self, base: &str, source: Weak<dyn MetricsSource>) -> String {
+        let mut sources = self.sources.lock().unwrap();
+        sources.retain(|(_, w)| w.strong_count() > 0);
+        let mut prefix = base.to_owned();
+        let mut n = 1usize;
+        while sources.iter().any(|(p, _)| *p == prefix) {
+            n += 1;
+            prefix = format!("{base}#{n}");
+        }
+        sources.push((prefix.clone(), source));
+        prefix
+    }
+
+    /// Collects every live source into one snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let sources = self.sources.lock().unwrap();
+        let mut map = BTreeMap::new();
+        for (prefix, weak) in sources.iter() {
+            let Some(source) = weak.upgrade() else {
+                continue;
+            };
+            let mut collector = MetricsCollector {
+                prefix: prefix.clone(),
+                map: std::mem::take(&mut map),
+            };
+            source.collect(&mut collector);
+            map = collector.map;
+        }
+        MetricsSnapshot { values: map }
+    }
+}
+
+/// The process-wide registry every production source registers with.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// A point-in-time reading of every registered metric, keyed by
+/// `prefix.name`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Metric values in deterministic (sorted) name order.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// The change since `earlier`: counters and histograms are diffed
+    /// (saturating); metrics absent from `earlier` pass through whole.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut values = BTreeMap::new();
+        for (name, now) in &self.values {
+            let diffed = match (now, earlier.values.get(name)) {
+                (MetricValue::Counter(n), Some(MetricValue::Counter(e))) => {
+                    MetricValue::Counter(n.saturating_sub(*e))
+                }
+                (MetricValue::Histogram(n), Some(MetricValue::Histogram(e))) => {
+                    MetricValue::Histogram(n.since(e))
+                }
+                _ => *now,
+            };
+            values.insert(name.clone(), diffed);
+        }
+        MetricsSnapshot { values }
+    }
+
+    /// Looks up a counter by full name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a histogram by full name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_ops() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.set(7);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn bucket_boundaries_sit_at_powers_of_two() {
+        // Satellite requirement: the boundary cases are exact.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for p in 1..62 {
+            let v = 1u64 << p;
+            // 2^p opens bucket p+1; 2^p - 1 closes bucket p.
+            assert_eq!(bucket_index(v), p + 1, "2^{p} must open a new bucket");
+            assert_eq!(bucket_index(v - 1), p, "2^{p}-1 must stay below");
+            assert_eq!(bucket_lower_bound(p + 1), v);
+        }
+        // The top buckets saturate instead of overflowing the array.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 63), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.buckets[bucket_index(0)], 1);
+        assert_eq!(s.buckets[bucket_index(2)], 2); // 2 and 3 share a bucket
+        assert_eq!(s.buckets[bucket_index(1000)], 1);
+        assert!((s.mean() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_since_isolates_a_phase() {
+        let h = Histogram::new();
+        h.record(5);
+        let before = h.snapshot();
+        h.record(100);
+        h.record(200);
+        let delta = h.snapshot().since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 300);
+        assert_eq!(delta.buckets[bucket_index(5)], 0);
+        assert_eq!(delta.buckets[bucket_index(100)], 1);
+        assert_eq!(delta.buckets[bucket_index(200)], 1);
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_bucket_exact() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 16)
+        }
+        h.record(1 << 20);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_bound(0.5), 16);
+        assert_eq!(s.quantile_upper_bound(0.99), 16);
+        assert_eq!(s.quantile_upper_bound(1.0), 1 << 21);
+        assert_eq!(HistogramSnapshot::default().quantile_upper_bound(0.5), 0);
+    }
+
+    struct FakeSource {
+        hits: Counter,
+        lat: Histogram,
+    }
+
+    impl MetricsSource for FakeSource {
+        fn collect(&self, out: &mut MetricsCollector) {
+            out.counter("hits", self.hits.get());
+            out.histogram("lat_ns", self.lat.snapshot());
+        }
+    }
+
+    fn fake() -> Arc<FakeSource> {
+        Arc::new(FakeSource {
+            hits: Counter::new(),
+            lat: Histogram::new(),
+        })
+    }
+
+    #[test]
+    fn registry_snapshot_and_diff_round_trip() {
+        let reg = MetricsRegistry::new();
+        let src = fake();
+        let weak: Weak<FakeSource> = Arc::downgrade(&src);
+        let prefix = reg.register("pool", weak);
+        assert_eq!(prefix, "pool");
+
+        src.hits.add(3);
+        src.lat.record(128);
+        let a = reg.snapshot();
+        assert_eq!(a.counter("pool.hits"), Some(3));
+        assert_eq!(a.histogram("pool.lat_ns").unwrap().count, 1);
+
+        src.hits.add(2);
+        src.lat.record(256);
+        let b = reg.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.counter("pool.hits"), Some(2));
+        let lat = d.histogram("pool.lat_ns").unwrap();
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.buckets[bucket_index(256)], 1);
+        assert_eq!(lat.buckets[bucket_index(128)], 0);
+    }
+
+    #[test]
+    fn registry_uniquifies_prefixes_and_drops_dead_sources() {
+        let reg = MetricsRegistry::new();
+        let a = fake();
+        let b = fake();
+        assert_eq!(reg.register("pool", Arc::downgrade(&a) as _), "pool");
+        assert_eq!(reg.register("pool", Arc::downgrade(&b) as _), "pool#2");
+        b.hits.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pool.hits"), Some(0));
+        assert_eq!(snap.counter("pool#2.hits"), Some(1));
+
+        drop(a);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pool.hits"), None, "dead sources vanish");
+        assert_eq!(snap.counter("pool#2.hits"), Some(1));
+
+        // The freed name is reusable once the dead weak is pruned.
+        let c = fake();
+        assert_eq!(reg.register("pool", Arc::downgrade(&c) as _), "pool");
+    }
+
+    #[test]
+    fn snapshot_diff_passes_new_metrics_through() {
+        let reg = MetricsRegistry::new();
+        let a = reg.snapshot();
+        let src = fake();
+        src.hits.add(9);
+        reg.register("late", Arc::downgrade(&src) as _);
+        let d = reg.snapshot().since(&a);
+        assert_eq!(d.counter("late.hits"), Some(9));
+    }
+}

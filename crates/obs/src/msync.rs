@@ -1,0 +1,30 @@
+//! Model-switchable synchronization facade (same pattern as
+//! `cilkm-runtime/src/msync.rs`): the tracer ring's publication atomics
+//! go through here so that, under `--features model`, the single-writer /
+//! concurrent-drain protocol runs on `cilkm-checker`'s recorded
+//! primitives and can be verified by the model checker.
+
+#[cfg(feature = "model")]
+pub(crate) use cilkm_checker::sync::atomic;
+#[cfg(not(feature = "model"))]
+pub(crate) use std::sync::atomic;
+
+/// Records a plain-memory write for the checker's race detector (no-op
+/// outside `--features model`). `addr` identifies the location.
+#[inline]
+pub(crate) fn note_write(addr: usize) {
+    #[cfg(feature = "model")]
+    cilkm_checker::trace::note_write(addr, "TraceRingSlot");
+    #[cfg(not(feature = "model"))]
+    let _ = addr;
+}
+
+/// Records a plain-memory read for the checker's race detector (no-op
+/// outside `--features model`).
+#[inline]
+pub(crate) fn note_read(addr: usize) {
+    #[cfg(feature = "model")]
+    cilkm_checker::trace::note_read(addr, "TraceRingSlot");
+    #[cfg(not(feature = "model"))]
+    let _ = addr;
+}

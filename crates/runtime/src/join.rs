@@ -94,7 +94,9 @@ where
     if let Some(dep) = deposit {
         let hooks = worker.registry().hooks_arc();
         if ra.is_ok() && matches!(rb, JobResult::Ok(_)) {
+            cilkm_obs::trace::emit(cilkm_obs::EventKind::MergeBegin, 0);
             worker.with_state(|s| hooks.merge_right(s, dep));
+            cilkm_obs::trace::emit(cilkm_obs::EventKind::MergeEnd, 0);
         } else {
             hooks.discard(dep);
         }

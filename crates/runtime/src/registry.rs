@@ -13,6 +13,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
+use cilkm_obs::{trace, EventKind};
+
 use crate::msync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::msync::{thread, Mutex};
 
@@ -35,6 +37,17 @@ pub(crate) struct WorkerStats {
     pub inline_joins: AtomicU64,
     /// Joins whose right branch was executed by another context.
     pub stolen_joins: AtomicU64,
+    /// Steal sweeps started (whether or not they found work).
+    pub steal_attempts: AtomicU64,
+    /// Times this worker parked on the sleep gate (announce + re-check;
+    /// the re-check may return immediately without blocking).
+    pub parks: AtomicU64,
+    /// Times this worker came back from the sleep gate.
+    pub wakes: AtomicU64,
+    /// High-water mark of this worker's deque depth. Owner-maintained
+    /// with a plain load/compare/store (no RMW: only the owner writes,
+    /// others just read), so the spawn hot path stays cheap.
+    pub deque_hwm: AtomicU64,
 }
 
 /// A snapshot of pool-wide scheduler statistics.
@@ -55,6 +68,14 @@ pub struct PoolStats {
     pub inline_joins: u64,
     /// Joins whose right branch ran in a different context.
     pub stolen_joins: u64,
+    /// Steal sweeps started across all workers (successful or not).
+    pub steal_attempts: u64,
+    /// Park episodes across all workers.
+    pub parks: u64,
+    /// Wakeups from the sleep gate across all workers.
+    pub wakes: u64,
+    /// Largest deque depth any worker ever reached.
+    pub deque_hwm: u64,
 }
 
 struct ThreadInfo {
@@ -122,8 +143,27 @@ impl Registry {
             s.jobs_executed += t.stats.jobs_executed.load(Ordering::Relaxed);
             s.inline_joins += t.stats.inline_joins.load(Ordering::Relaxed);
             s.stolen_joins += t.stats.stolen_joins.load(Ordering::Relaxed);
+            s.steal_attempts += t.stats.steal_attempts.load(Ordering::Relaxed);
+            s.parks += t.stats.parks.load(Ordering::Relaxed);
+            s.wakes += t.stats.wakes.load(Ordering::Relaxed);
+            s.deque_hwm = s.deque_hwm.max(t.stats.deque_hwm.load(Ordering::Relaxed));
         }
         s
+    }
+}
+
+impl cilkm_obs::MetricsSource for Registry {
+    fn collect(&self, out: &mut cilkm_obs::metrics::MetricsCollector) {
+        let s = self.stats();
+        out.counter("steals", s.steals);
+        out.counter("failed_steals", s.failed_steals);
+        out.counter("steal_attempts", s.steal_attempts);
+        out.counter("jobs_executed", s.jobs_executed);
+        out.counter("inline_joins", s.inline_joins);
+        out.counter("stolen_joins", s.stolen_joins);
+        out.counter("parks", s.parks);
+        out.counter("wakes", s.wakes);
+        out.counter("deque_hwm", s.deque_hwm);
     }
 }
 
@@ -181,6 +221,13 @@ impl WorkerThread {
     #[inline]
     pub(crate) fn push(&self, job: JobRef) {
         self.deque.push(job.as_raw());
+        // Owner-only high-water mark: plain load/compare/store, no RMW,
+        // so the spawn path pays one predictable branch.
+        let depth = self.deque.len() as u64;
+        let hwm = &self.stats().deque_hwm;
+        if depth > hwm.load(Ordering::Relaxed) {
+            hwm.store(depth, Ordering::Relaxed);
+        }
         self.registry.signal_work();
     }
 
@@ -220,6 +267,7 @@ impl WorkerThread {
     /// permutations keep simultaneous thieves from convoying over the
     /// victims in the same sequence.
     fn try_steal(&self) -> Option<JobRef> {
+        self.stats().steal_attempts.fetch_add(1, Ordering::Relaxed);
         let n = self.registry.threads.len();
         if n > 1 {
             let r = self.next_rand();
@@ -237,6 +285,7 @@ impl WorkerThread {
                     match self.registry.threads[victim].stealer.steal() {
                         Steal::Success(raw) => {
                             self.stats().steals.fetch_add(1, Ordering::Relaxed);
+                            trace::emit(EventKind::StealSuccess, victim as u64);
                             // SAFETY: deque contents are always raw
                             // `JobRef`s (see `pop`).
                             return Some(unsafe { JobRef::from_raw(raw) });
@@ -259,10 +308,12 @@ impl WorkerThread {
     #[inline]
     fn execute_idle(&self, job: JobRef) {
         self.stats().jobs_executed.fetch_add(1, Ordering::Relaxed);
+        trace::emit(EventKind::JobBegin, 0);
         // SAFETY: popping/stealing transferred sole execution rights for
         // this job to us, and its frame outlives execution (job
         // contract).
         unsafe { job.execute() };
+        trace::emit(EventKind::JobEnd, 0);
     }
 
     /// Executes a foreign job while this worker's current context is
@@ -272,10 +323,14 @@ impl WorkerThread {
     pub(crate) fn execute_suspended(&self, job: JobRef) {
         let hooks = self.registry.hooks.clone();
         let saved = self.with_state(|s| hooks.suspend(s));
+        trace::emit(EventKind::Detach, 1);
         self.stats().jobs_executed.fetch_add(1, Ordering::Relaxed);
+        trace::emit(EventKind::JobBegin, 0);
         // SAFETY: as in `execute_idle`.
         unsafe { job.execute() };
+        trace::emit(EventKind::JobEnd, 0);
         self.with_state(|s| hooks.resume(s, saved));
+        trace::emit(EventKind::Attach, 1);
     }
 
     /// The waiting discipline at a join: keep useful until `latch` fires.
@@ -377,6 +432,12 @@ impl WorkerThread {
                 continue;
             }
             idle += 1;
+            if idle == 1 {
+                // Once per idle *episode*, not per sweep: per-sweep
+                // events would flood the ring while workers spin (the
+                // per-sweep total is in `failed_steals`).
+                trace::emit(EventKind::StealFail, 0);
+            }
             if idle <= self.registry.spin_tries {
                 // Exponentially longer pause bursts between steal sweeps.
                 for _ in 0..(1u32 << idle.min(8)) {
@@ -394,6 +455,8 @@ impl WorkerThread {
     /// re-check, and only park if the re-check finds nothing.
     #[cold]
     fn sleep(&self) {
+        self.stats().parks.fetch_add(1, Ordering::Relaxed);
+        trace::emit(EventKind::Park, 0);
         let reg = &*self.registry;
         reg.gate.sleep(self.index, || {
             reg.terminate.load(Ordering::Acquire)
@@ -404,6 +467,8 @@ impl WorkerThread {
                     .enumerate()
                     .any(|(i, t)| i != self.index && !t.stealer.is_empty())
         });
+        self.stats().wakes.fetch_add(1, Ordering::Relaxed);
+        trace::emit(EventKind::Wake, 0);
     }
 }
 
@@ -425,7 +490,9 @@ const YIELD_TRIES: u32 = 4;
 pub(crate) fn detach_current_views() -> DetachedViews {
     let worker = WorkerThread::current().expect("detach outside worker");
     let hooks = worker.registry.hooks.clone();
-    worker.with_state(|s| hooks.detach(s))
+    let views = worker.with_state(|s| hooks.detach(s));
+    trace::emit(EventKind::Detach, 0);
+    views
 }
 
 /// Folds the current worker's views into leftmost storage (root task end).
@@ -508,6 +575,14 @@ impl PoolBuilder {
             yield_tries,
             terminate: AtomicBool::new(false),
         });
+        // Expose scheduler counters through the unified metrics registry.
+        // `Weak`, so registration never outlives the pool.
+        let weak = Arc::downgrade(&registry);
+        cilkm_obs::metrics::global().register(
+            "pool",
+            weak as std::sync::Weak<dyn cilkm_obs::MetricsSource>,
+        );
+        cilkm_obs::clock::warm_up();
 
         let mut handles = Vec::with_capacity(self.num_threads);
         for (index, owner) in owners.into_iter().enumerate() {
@@ -587,13 +662,38 @@ impl Pool {
             "Pool::run called from inside a worker; use join() to fork instead"
         );
         let _region = self.region_lock.lock();
+        trace::emit(EventKind::RegionBegin, 0);
         let latch = LockLatch::new();
         let job = RootJob::new(f, &latch);
         self.registry.inject(job.as_job_ref());
         latch.wait();
+        trace::emit(EventKind::RegionEnd, 0);
         // SAFETY: the latch fired, so the worker finished the root job
         // and published its result; we take it exactly once.
         unsafe { job.take_result() }.into_return_value()
+    }
+
+    /// Runs `f` as a parallel region with event tracing enabled for the
+    /// region's duration, and returns the drained [`cilkm_obs::Trace`]
+    /// alongside the result. The trace is windowed to this call (events
+    /// from earlier traced regions are excluded).
+    ///
+    /// Without the `trace` cargo feature the region still runs but the
+    /// returned trace is empty (see [`cilkm_obs::trace::compiled`]).
+    /// Tracing is process-wide while the region runs, so two overlapping
+    /// `run_traced` calls on different pools will see each other's
+    /// scheduler events.
+    pub fn run_traced<F, R>(&self, f: F) -> (R, cilkm_obs::Trace)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let t0 = cilkm_obs::clock::now_ns();
+        let was_enabled = cilkm_obs::trace::enabled();
+        cilkm_obs::trace::set_enabled(true);
+        let result = self.run(f);
+        cilkm_obs::trace::set_enabled(was_enabled);
+        (result, cilkm_obs::trace::drain().since_ns(t0))
     }
 
     /// Scheduler statistics accumulated since pool construction.
@@ -663,5 +763,85 @@ mod tests {
         let pool = Pool::new(4);
         pool.run(|| ());
         drop(pool); // must not hang
+    }
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+    }
+
+    #[test]
+    fn scheduler_counters_move_under_load() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.run(|| fib(16)), 987);
+        let s = pool.stats();
+        assert!(s.steal_attempts > 0, "workers must have swept for work");
+        assert!(
+            s.steal_attempts >= s.steals + s.failed_steals,
+            "every steal outcome starts as an attempt"
+        );
+        assert!(s.deque_hwm >= 1, "joins push jobs, so depth reached >= 1");
+        // Workers may be parked right now (the region is over), so only
+        // the one-sided invariant holds: every wake had a park.
+        assert!(s.wakes <= s.parks);
+    }
+
+    #[test]
+    fn pool_appears_in_the_global_metrics_registry() {
+        let pool = Pool::new(2);
+        pool.run(|| fib(10));
+        let snap = cilkm_obs::metrics::global().snapshot();
+        // Other tests register pools concurrently, so locate ours by
+        // value: some pool.* source must report our jobs_executed.
+        let ours = pool.stats();
+        let found = snap.values.iter().any(|(name, v)| {
+            name.ends_with(".jobs_executed")
+                && matches!(v, cilkm_obs::MetricValue::Counter(c) if *c == ours.jobs_executed)
+        });
+        assert!(
+            found,
+            "pool metrics source not found in {:?}",
+            snap.values.keys()
+        );
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn run_traced_captures_region_and_worker_events() {
+        use cilkm_obs::EventKind;
+        let pool = Pool::new(4);
+        let (val, trace) = pool.run_traced(|| fib(16));
+        assert_eq!(val, 987);
+        assert_eq!(trace.count(EventKind::RegionBegin), 1);
+        assert_eq!(trace.count(EventKind::RegionEnd), 1);
+        // A job's completion latch is set *inside* `execute`, so the
+        // region can end (and this drain run) before the executing
+        // worker reaches its trailing JobEnd emit. At most one end per
+        // worker can be in flight.
+        let begins = trace.count(EventKind::JobBegin);
+        let ends = trace.count(EventKind::JobEnd);
+        assert!(begins >= 1);
+        assert!(
+            ends <= begins && begins - ends <= 4,
+            "unbalanced job events: {begins} begins, {ends} ends"
+        );
+        // Every stolen-join merge brackets properly.
+        assert_eq!(
+            trace.count(EventKind::MergeBegin),
+            trace.count(EventKind::MergeEnd)
+        );
+        // Worker rings carry the pool's thread names.
+        assert!(trace
+            .threads
+            .iter()
+            .any(|t| t.label.starts_with("cilkm-worker-")));
+
+        // A second traced region does not re-see the first one's events.
+        let (_, trace2) = pool.run_traced(|| fib(10));
+        assert_eq!(trace2.count(EventKind::RegionBegin), 1);
     }
 }

@@ -59,6 +59,9 @@ pub struct PageArena {
     total_allocs: AtomicU64,
     total_frees: AtomicU64,
     peak_live: AtomicU64,
+    /// Per-domain kernel-crossing accounting (an arena is owned by one
+    /// reducer domain, so "per arena" is "per domain").
+    crossings: stats::CrossingCounters,
 }
 
 // SAFETY: the slot table (the only raw-pointer holder) is behind a
@@ -81,13 +84,19 @@ impl PageArena {
             total_allocs: AtomicU64::new(0),
             total_frees: AtomicU64::new(0),
             peak_live: AtomicU64::new(0),
+            crossings: stats::CrossingCounters::new(),
         }
+    }
+
+    /// This arena's (i.e. this domain's) kernel-crossing counters.
+    pub fn crossings(&self) -> &stats::CrossingCounters {
+        &self.crossings
     }
 
     /// Simulated `sys_palloc`: allocates a zeroed physical page and
     /// returns its descriptor.
     pub fn palloc(&self) -> PageDesc {
-        stats::charge(&stats::PALLOC_CALLS);
+        self.crossings.charge_palloc();
         self.total_allocs.fetch_add(1, Ordering::Relaxed);
         // SAFETY: `page_layout()` is the non-zero-sized 4-KiB layout.
         let page = unsafe { alloc_zeroed(page_layout()) };
@@ -127,7 +136,7 @@ impl PageArena {
     /// use-after-free in the runtime above, and are therefore loud.
     pub fn pfree(&self, pd: PageDesc) {
         assert!(pd != PD_NULL, "pfree(PD_NULL)");
-        stats::charge(&stats::PFREE_CALLS);
+        self.crossings.charge_pfree();
         self.total_frees.fetch_add(1, Ordering::Relaxed);
 
         let page = {

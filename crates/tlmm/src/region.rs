@@ -2,7 +2,6 @@
 
 use std::sync::Arc;
 
-use crate::stats;
 use crate::{PageArena, PageDesc, PAGE_SIZE, PD_NULL};
 
 /// A byte address inside the TLMM region, relative to the region base.
@@ -97,8 +96,7 @@ impl TlmmRegion {
     ///
     /// Panics if any non-null descriptor is not live in the arena.
     pub fn pmap(&mut self, base_page: usize, descs: &[PageDesc]) {
-        stats::charge(&stats::PMAP_CALLS);
-        stats::PMAP_PAGES.fetch_add(descs.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.arena.crossings().charge_pmap(descs.len() as u64);
         self.pmap_calls += 1;
 
         let end = base_page + descs.len();

@@ -4,10 +4,63 @@
 //!
 //! ```sh
 //! cargo run --release --example pbfs
+//! # with the event tracer compiled in, additionally records one traced
+//! # run and writes trace/metrics artifacts under bench_out/:
+//! cargo run --release --features trace --example pbfs
 //! ```
 
+use std::path::PathBuf;
+
 use cilkm::graph::gen;
+use cilkm::obs::{analyze, export, metrics, trace};
 use cilkm::prelude::*;
+
+/// Artifact directory: `CILKM_BENCH_OUT` if set, else `bench_out/` at
+/// the workspace root (mirrors `cilkm-bench::output::out_dir`).
+fn out_dir() -> PathBuf {
+    let p = match std::env::var("CILKM_BENCH_OUT") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("bench_out"),
+    };
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// One tracer-enabled PBFS run: records every scheduler/reducer event,
+/// writes the Chrome trace (load it in Perfetto / chrome://tracing), the
+/// lossless events CSV, and a metrics dump, then prints the analyzer's
+/// summary of the same trace.
+fn traced_run(g: &cilkm::graph::Graph, source: u32, serial: &[u32]) {
+    let pool = ReducerPool::new(4, Backend::Mmap);
+    let metrics_before = metrics::global().snapshot();
+    let t0 = cilkm::obs::clock::now_ns();
+    trace::set_enabled(true);
+    let report = pbfs(&pool, g, source, 128);
+    trace::set_enabled(false);
+    let tr = trace::drain().since_ns(t0);
+    let metrics_delta = metrics::global().snapshot().since(&metrics_before);
+    assert_eq!(report.distances, serial, "traced run disagrees with serial");
+
+    let dir = out_dir();
+    let write = |name: &str, f: &dyn Fn(&mut Vec<u8>) -> std::io::Result<()>| {
+        let mut buf = Vec::new();
+        f(&mut buf).expect("render artifact");
+        let path = dir.join(name);
+        std::fs::write(&path, buf).expect("write artifact");
+        println!("  wrote {}", path.display());
+    };
+    write("pbfs_trace.json", &|w| export::write_chrome_json(&tr, w));
+    write("pbfs_trace_events.csv", &|w| {
+        export::write_events_csv(&tr, w)
+    });
+    write("pbfs_metrics.csv", &|w| {
+        export::write_metrics_csv(&metrics_delta, w)
+    });
+    write("pbfs_metrics.json", &|w| {
+        export::write_metrics_json(&metrics_delta, w)
+    });
+    print!("{}", analyze::render(&analyze::summarize(&tr)));
+}
 
 fn main() {
     // A Graph500-flavoured RMAT graph: skewed degrees, tiny diameter.
@@ -37,6 +90,10 @@ fn main() {
             report.lookups,
             pool.stats().steals,
         );
+    }
+    if trace::compiled() {
+        println!("\ntraced run (mmap backend):");
+        traced_run(&g, source, &serial);
     }
     println!("PBFS matches serial BFS on both backends ✓");
 }

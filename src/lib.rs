@@ -17,7 +17,10 @@
 //!   instrumentation;
 //! * [`tlmm`] (`cilkm-tlmm`) — the simulated TLMM-Linux substrate;
 //! * [`spa`] (`cilkm-spa`) — sparse accumulators and the SPA map;
-//! * [`graph`] (`cilkm-graph`) — CSR graphs, generators, bags, PBFS.
+//! * [`graph`] (`cilkm-graph`) — CSR graphs, generators, bags, PBFS;
+//! * [`obs`] (`cilkm-obs`) — the observability layer: per-worker event
+//!   tracer (enable with the `trace` feature), unified metrics registry,
+//!   Chrome-trace/CSV exporters, and trace analysis.
 //!
 //! ## Quick start
 //!
@@ -40,6 +43,7 @@
 
 pub use cilkm_core as core;
 pub use cilkm_graph as graph;
+pub use cilkm_obs as obs;
 pub use cilkm_runtime as runtime;
 pub use cilkm_spa as spa;
 pub use cilkm_tlmm as tlmm;
