@@ -28,7 +28,7 @@ const VIEW_BYTES: usize = 64;
 /// over the other worker's pages with `frag`× fragmentation; a merge maps
 /// those pages in (one pmap), walks the views, and unmaps (second pmap).
 fn naive_merge(w2: &mut TlmmRegion, victim_pages: &[PageDesc], scratch_base: usize) -> u64 {
-    let before = stats::snapshot();
+    let before = w2.arena().crossings().snapshot();
     w2.pmap(scratch_base, victim_pages);
     // Walk every mapped view (touch one byte per view slot).
     let mut acc = 0u64;
@@ -43,19 +43,28 @@ fn naive_merge(w2: &mut TlmmRegion, victim_pages: &[PageDesc], scratch_base: usi
     std::hint::black_box(acc);
     let nulls = vec![cilkm_tlmm::PD_NULL; victim_pages.len()];
     w2.pmap(scratch_base, &nulls);
-    stats::snapshot().since(&before).total_crossings()
+    w2.arena()
+        .crossings()
+        .snapshot()
+        .since(&before)
+        .total_crossings()
 }
 
 /// Simulates indirection: views are heap boxes reachable from a shared
-/// pointer table; a merge dereferences each pointer. Zero crossings.
-fn indirection_merge(views: &[Box<[u8; VIEW_BYTES]>]) -> u64 {
-    let before = stats::snapshot();
+/// pointer table; a merge dereferences each pointer. The domain's arena
+/// counters prove this performs zero crossings.
+fn indirection_merge(arena: &PageArena, views: &[Box<[u8; VIEW_BYTES]>]) -> u64 {
+    let before = arena.crossings().snapshot();
     let mut acc = 0u64;
     for v in views {
         acc = acc.wrapping_add(v[0] as u64);
     }
     std::hint::black_box(acc);
-    stats::snapshot().since(&before).total_crossings()
+    arena
+        .crossings()
+        .snapshot()
+        .since(&before)
+        .total_crossings()
 }
 
 fn main() {
@@ -110,7 +119,7 @@ fn main() {
         let t0 = Instant::now();
         let mut ind_crossings = 0;
         for _ in 0..merges {
-            ind_crossings = indirection_merge(&heap_views);
+            ind_crossings = indirection_merge(&arena, &heap_views);
         }
         let ind_ns = t0.elapsed().as_nanos() as f64 / merges as f64;
         assert_eq!(ind_crossings, 0, "indirection must need no crossings");

@@ -163,7 +163,7 @@ fn main() {
     }
     t.emit("ablation_transferal");
 
-    let snap = stats::snapshot();
+    let snap = arena.crossings().snapshot();
     println!(
         "total simulated kernel crossings this run: {}",
         snap.total_crossings()

@@ -225,6 +225,44 @@ pub mod atomic {
                     }
                 }
 
+                /// Atomic maximum; returns the previous value.
+                #[inline]
+                pub fn fetch_max(&self, val: $prim, ord: Ordering) -> $prim {
+                    match exec::current() {
+                        None => self.real.fetch_max(val, ord),
+                        Some((e, t)) => {
+                            let old = e.op_atomic_rmw(
+                                t,
+                                self.key(),
+                                ord,
+                                self.init(),
+                                &mut |v| (v as $prim).max(val) as u64,
+                            ) as $prim;
+                            self.real.store(old.max(val), Ordering::Relaxed);
+                            old
+                        }
+                    }
+                }
+
+                /// Atomic minimum; returns the previous value.
+                #[inline]
+                pub fn fetch_min(&self, val: $prim, ord: Ordering) -> $prim {
+                    match exec::current() {
+                        None => self.real.fetch_min(val, ord),
+                        Some((e, t)) => {
+                            let old = e.op_atomic_rmw(
+                                t,
+                                self.key(),
+                                ord,
+                                self.init(),
+                                &mut |v| (v as $prim).min(val) as u64,
+                            ) as $prim;
+                            self.real.store(old.min(val), Ordering::Relaxed);
+                            old
+                        }
+                    }
+                }
+
                 /// Mutable access without an atomic op (requires `&mut`).
                 #[inline]
                 pub fn get_mut(&mut self) -> &mut $prim {

@@ -3,10 +3,10 @@
 //! leftmost-view registry, the shared arena of simulated physical pages,
 //! and the global pool of recyclable public SPA maps (§7).
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::msync::atomic::{AtomicBool, Ordering};
+use crate::msync::Mutex;
 
 use cilkm_runtime::{HyperHooks, Pool, PoolBuilder, PoolStats};
 use cilkm_spa::SpaMapBox;

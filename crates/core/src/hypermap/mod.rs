@@ -95,6 +95,7 @@ impl Drop for HypermapWorkerState {
 /// straight-line loads because the "map" is the virtual-memory hardware.
 /// Keeping the hypermap lookup out-of-line preserves that structural
 /// difference, which is part of what Figure 1 measures.
+// lint: hot-path
 #[inline(never)]
 pub(crate) fn lookup(slot: Slot, inst: &MonoidInstance, domain: &DomainInner) -> Option<*mut u8> {
     let ptr = HYPERMAP_TLS.with(|c| c.get());

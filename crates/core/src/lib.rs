@@ -55,6 +55,7 @@ pub mod monoid;
 pub mod reducer;
 
 mod domain;
+mod msync;
 
 #[cfg(all(test, feature = "model"))]
 mod model_tests;

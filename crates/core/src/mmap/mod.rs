@@ -268,6 +268,7 @@ unsafe fn page_at(st: *mut MmapWorkerState, pidx: usize) -> SpaMapRef {
 ///
 /// Returns `None` when the calling thread is not a worker of `domain`'s
 /// pool (the caller then takes the serial leftmost path).
+// lint: hot-path
 #[inline(always)]
 pub(crate) fn lookup(
     page: usize,

@@ -1,0 +1,24 @@
+//! Model-switchable synchronization facade for the reducer core — the
+//! same pattern as `cilkm-runtime/src/msync.rs` and
+//! `cilkm-obs/src/msync.rs` (see DESIGN.md §10, and §12 for the lint
+//! that enforces it).
+//!
+//! The core's synchronization surface is small but load-bearing: the
+//! per-reducer **serial-access flag** (an `AtomicBool` raced by
+//! region-end folds against serial-path accesses) and the domain's
+//! slot/leftmost/pool **mutexes**. Importing them through this module
+//! keeps them zero-cost aliases of the real primitives in normal builds
+//! while letting `--features model` swap in `cilkm_checker`'s recorded
+//! versions, so the serial-exclusion protocol is explorable under
+//! `cilkm_checker::model(..)` like the scheduler's protocols already
+//! are.
+
+#[cfg(feature = "model")]
+pub(crate) use cilkm_checker::sync::atomic;
+#[cfg(not(feature = "model"))]
+pub(crate) use std::sync::atomic;
+
+#[cfg(feature = "model")]
+pub(crate) use cilkm_checker::sync::Mutex;
+#[cfg(not(feature = "model"))]
+pub(crate) use parking_lot::Mutex;

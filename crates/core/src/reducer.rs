@@ -12,8 +12,9 @@
 //! any other thread it operates directly on the leftmost view (serial
 //! semantics, checked against concurrent misuse).
 
-use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+
+use crate::msync::atomic::{AtomicBool, Ordering};
 
 use crate::domain::{Backend, DomainInner, ReducerPool, SerialBorrow, Slot};
 use crate::monoid::{Monoid, MonoidInstance};
@@ -274,9 +275,7 @@ impl<M: Monoid> Reducer<M> {
         let inner = &*self.inner;
         let _borrow = SerialBorrow::acquire(&inner.serial_flag);
         self.fold_current();
-        inner
-            .consumed
-            .store(true, std::sync::atomic::Ordering::Release);
+        inner.consumed.store(true, Ordering::Release);
         let entry = inner
             .domain
             .unregister_leftmost(inner.slot)
@@ -431,7 +430,7 @@ mod tests {
     #[test]
     #[cfg(any(debug_assertions, feature = "instrument"))]
     fn lookup_totals_exact_when_one_side_of_a_join_panics() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use crate::msync::atomic::{AtomicBool, Ordering};
         for pool in both_backends() {
             let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
             let running = AtomicBool::new(false);

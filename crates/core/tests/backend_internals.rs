@@ -5,13 +5,14 @@
 use cilkm_core::library::{ListMonoid, StringMonoid, SumMonoid};
 use cilkm_core::{Backend, Reducer, ReducerPool};
 use cilkm_runtime::{join, parallel_for};
-use cilkm_tlmm::stats;
 
 #[test]
 #[cfg_attr(miri, ignore = "spawns OS worker threads")]
 fn mmap_backend_performs_pmaps_and_pallocs() {
-    let before = stats::snapshot();
     let pool = ReducerPool::new(2, Backend::Mmap);
+    // Per-domain counters: the pool's own arena, so concurrent tests
+    // cannot bleed into the deltas.
+    let before = pool.domain().arena_handle().crossings().snapshot();
     let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
     pool.run(|| {
         parallel_for(0..10_000, 64, &|range| {
@@ -21,7 +22,12 @@ fn mmap_backend_performs_pmaps_and_pallocs() {
         });
     });
     assert_eq!(r.into_inner(), 10_000);
-    let delta = stats::snapshot().since(&before);
+    let delta = pool
+        .domain()
+        .arena_handle()
+        .crossings()
+        .snapshot()
+        .since(&before);
     assert!(delta.palloc_calls >= 1, "private pages must be allocated");
     assert!(delta.pmap_calls >= 1, "pages must be mapped via sys_pmap");
 }
@@ -30,8 +36,8 @@ fn mmap_backend_performs_pmaps_and_pallocs() {
 #[cfg_attr(miri, ignore = "spawns OS worker threads")]
 fn hypermap_backend_touches_no_tlmm() {
     // Serial region only: steals could not occur, but more importantly
-    // the hypermap backend must never use the TLMM substrate at all.
-    let before = stats::snapshot();
+    // the hypermap backend must never use the TLMM substrate at all —
+    // its domain's arena counters must stay exactly zero.
     let pool = ReducerPool::new(1, Backend::Hypermap);
     let r = Reducer::new(&pool, SumMonoid::<u64>::new(), 0);
     pool.run(|| {
@@ -40,7 +46,7 @@ fn hypermap_backend_touches_no_tlmm() {
         }
     });
     assert_eq!(r.into_inner(), 10_000);
-    let delta = stats::snapshot().since(&before);
+    let delta = pool.domain().arena_handle().crossings().snapshot();
     assert_eq!(delta.pmap_calls, 0);
     assert_eq!(delta.palloc_calls, 0);
 }

@@ -496,6 +496,7 @@ mod tests {
     #[test]
     fn parallel_for_each_visits_exactly_once() {
         use cilkm_runtime::Pool;
+        // lint: allow(raw-sync, test-only hit counters exercising the public Pool API from outside the runtime; the runtime's msync facade is pub(crate) and deliberately unreachable from here)
         use std::sync::atomic::{AtomicU32, Ordering};
         let mut b = Bag::new();
         for i in 0..1000u32 {

@@ -1,0 +1,8 @@
+//! Fixture: cfg violations — a one-edit typo of a declared feature
+//! (gets a "did you mean" hint) and a feature the crate never declares.
+
+#[cfg(feature = "trce")]
+pub fn traced() {}
+
+#[cfg_attr(feature = "instrument", inline(never))]
+pub fn counted() {}

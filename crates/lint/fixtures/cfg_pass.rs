@@ -1,0 +1,16 @@
+//! Fixture: cfg hygiene — every named feature is declared by the
+//! owning crate (the test supplies `trace` and `model`), including
+//! nested predicates, `cfg_attr`, and the `cfg!` expression macro.
+
+#[cfg(feature = "trace")]
+pub fn traced() {}
+
+#[cfg(all(test, feature = "model"))]
+mod model_tests {}
+
+#[cfg_attr(feature = "trace", inline(never))]
+pub fn maybe_outlined() {}
+
+pub fn compiled() -> bool {
+    cfg!(feature = "trace")
+}

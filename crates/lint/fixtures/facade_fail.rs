@@ -1,0 +1,24 @@
+//! Fixture: every flavor of facade violation the `raw-sync` rule
+//! catches — atomic path, sync group import, parking_lot, and both
+//! spellings of thread parking.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread;
+
+use parking_lot::RwLock;
+
+pub fn park_both_ways() {
+    std::thread::park_timeout(std::time::Duration::from_millis(1));
+    thread::park();
+}
+
+pub fn count(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub struct Raw {
+    pub m: Mutex<u64>,
+    pub cv: Condvar,
+    pub rw: RwLock<u64>,
+}

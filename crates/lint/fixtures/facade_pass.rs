@@ -1,0 +1,17 @@
+//! Fixture: facade-clean source. Sync primitives come in through the
+//! crate's msync facade; the one raw import carries a justified waiver;
+//! banned paths inside strings and comments must not fire.
+
+use crate::msync::atomic::{AtomicUsize, Ordering};
+use crate::msync::Mutex;
+
+// lint: allow(raw-sync, fixture: Relaxed-only monitoring counter, never part of a modeled protocol)
+use std::sync::atomic::AtomicU64;
+
+/// Mentions of `std::sync::Mutex` in comments are not code.
+pub const DOC: &str = "std::sync::Mutex and parking_lot are banned in code";
+
+pub fn tick(c: &AtomicUsize, m: &Mutex<u64>, raw: &AtomicU64) -> usize {
+    *m.lock() += raw.load(Ordering::Relaxed);
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,13 @@
+//! Fixture: one annotated function committing all four hot-path sins —
+//! a formatting macro, an allocating constructor, an allocating
+//! conversion method, and panicking `[]` indexing.
+
+// lint: hot-path
+#[inline(always)]
+pub fn lookup(xs: &[u64], idx: usize) -> u64 {
+    let label = format!("idx={idx}");
+    let boxed = Box::new(idx);
+    let owned = label.to_owned();
+    drop((boxed, owned));
+    xs[idx]
+}

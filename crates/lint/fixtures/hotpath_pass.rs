@@ -1,0 +1,18 @@
+//! Fixture: a clean hot-path function — cheap asserts are allowed,
+//! pointer arithmetic replaces panicking indexing, and the cold miss
+//! companion below is free to allocate because it is not annotated.
+
+// lint: hot-path
+#[inline(always)]
+pub fn lookup(table: *const u64, idx: usize, len: usize) -> u64 {
+    debug_assert!(idx < len);
+    // SAFETY: `idx < len` is asserted above and `table` points at `len`
+    // initialized slots, so the offset read stays in bounds.
+    unsafe { *table.add(idx) }
+}
+
+#[cold]
+#[inline(never)]
+pub fn lookup_miss(idx: usize) -> String {
+    format!("miss at {idx}")
+}

@@ -1,0 +1,9 @@
+//! Fixture: unsafe-contract violations — an `unsafe impl Send` with no
+//! `// SAFETY:` comment at all, and a rationale left empty.
+
+pub struct Handle(*mut u8);
+
+unsafe impl Send for Handle {}
+
+// SAFETY:
+unsafe impl Sync for Handle {}

@@ -1,0 +1,12 @@
+//! Fixture: well-documented unsafe contracts — every `unsafe impl`
+//! carries a `// SAFETY:` rationale directly above it.
+
+pub struct Handle(*mut u8);
+
+// SAFETY: the pointer is uniquely owned by the handle and never
+// aliased, so ownership transfers wholesale between threads.
+unsafe impl Send for Handle {}
+
+// SAFETY: all methods take `&self` and only compare the pointer's
+// address; no thread can reach the pointee through a shared handle.
+unsafe impl Sync for Handle {}

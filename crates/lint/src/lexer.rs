@@ -1,0 +1,431 @@
+//! A hand-rolled, token-level lexer for Rust source.
+//!
+//! This is deliberately **not** a parser: the lint rules (see
+//! [`crate::rules`]) only need a faithful token stream in which string
+//! literals, character literals, comments, and raw strings can never be
+//! confused with code. That property is what lets the rules grep for
+//! `std::sync::atomic` without tripping over the same path mentioned in
+//! a doc comment or embedded in an error-message string — and it is why
+//! `cilkm-lint` can lint its own source, whose rule tables spell those
+//! very paths out as string literals.
+//!
+//! The lexer keeps three side-products the rules consume:
+//!
+//! * the significant-token stream ([`Token`]) with line numbers,
+//! * every comment, classified, with its text and line ([`Comment`]) —
+//!   waivers (`// lint: allow(...)`), hot-path markers
+//!   (`// lint: hot-path`) and `// SAFETY:` rationales live here,
+//! * raw line count, for end-of-file diagnostics.
+
+/// One significant (non-comment, non-whitespace) token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token text. Identifiers and keywords carry their name;
+    /// punctuation is split into single characters except for `::`,
+    /// which is kept whole because every rule works on paths.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Lexical class.
+    pub kind: TokenKind,
+}
+
+/// Lexical class of a [`Token`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String / char / byte-string literal (text is the *raw source
+    /// slice including quotes*; rules never look inside).
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// Punctuation (single char, or the two-char path separator `::`).
+    Punct,
+    /// A lifetime such as `'scope` (kept distinct so `'a` is never
+    /// mistaken for an unterminated char literal downstream).
+    Lifetime,
+}
+
+/// A comment, kept out of the token stream but preserved for the rules
+/// that read waivers, hot-path markers, and `// SAFETY:` rationales.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the delimiters (`//`, `///`, `/* */`), not
+    /// trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True for `//`-style (line) comments, false for block comments.
+    pub is_line: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// Total number of lines in the file.
+    pub lines: u32,
+}
+
+impl Lexed {
+    /// Comments on exactly `line`.
+    pub fn comments_on_line(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line == line)
+    }
+}
+
+/// Lexes `src` into tokens and comments. Never fails: malformed input
+/// degrades to best-effort tokens (an unterminated string swallows the
+/// rest of the file, which is also what rustc would reject).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                // Strip a doc-comment's third slash or bang.
+                let start = match bytes.get(start) {
+                    Some(b'/') | Some(b'!') => start + 1,
+                    _ => start,
+                };
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..j].to_string(),
+                    line,
+                    is_line: true,
+                });
+                i = j;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: src[start..end].to_string(),
+                    line: start_line,
+                    is_line: false,
+                });
+                i = j;
+            }
+            b'"' => {
+                let (j, newlines) = scan_string(bytes, i);
+                out.tokens.push(Token {
+                    text: src[i..j].to_string(),
+                    line,
+                    kind: TokenKind::Literal,
+                });
+                line += newlines;
+                i = j;
+            }
+            b'r' | b'b'
+                if is_raw_string_start(bytes, i)
+                    || (b == b'b' && bytes.get(i + 1) == Some(&b'"')) =>
+            {
+                let (j, newlines) = if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                    let (j, n) = scan_string(bytes, i + 1);
+                    (j, n)
+                } else {
+                    scan_raw_string(bytes, i)
+                };
+                out.tokens.push(Token {
+                    text: src[i..j].to_string(),
+                    line,
+                    kind: TokenKind::Literal,
+                });
+                line += newlines;
+                i = j;
+            }
+            b'\'' => {
+                // Either a char literal or a lifetime. A lifetime is `'`
+                // followed by an identifier NOT closed by another quote.
+                if let Some(j) = scan_char_literal(bytes, i) {
+                    out.tokens.push(Token {
+                        text: src[i..j].to_string(),
+                        line,
+                        kind: TokenKind::Literal,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_byte(bytes[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        text: src[i..j].to_string(),
+                        line,
+                        kind: TokenKind::Lifetime,
+                    });
+                    i = j;
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                let mut j = i + 1;
+                // Numbers may embed `_`, `.`, type suffixes, hex/oct/bin
+                // alphabets and exponents; none of the rules read
+                // numbers, so a greedy ident-ish scan is fine (it must
+                // only not swallow `..` range punctuation).
+                while j < bytes.len()
+                    && (is_ident_byte(bytes[j])
+                        || (bytes[j] == b'.'
+                            && bytes.get(j + 1) != Some(&b'.')
+                            && bytes
+                                .get(j + 1)
+                                .is_some_and(|c| c.is_ascii_digit() || *c == b' ' || *c == b'\n')))
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    text: src[i..j].to_string(),
+                    line,
+                    kind: TokenKind::Number,
+                });
+                i = j;
+            }
+            _ if is_ident_start(b) => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    text: src[i..j].to_string(),
+                    line,
+                    kind: TokenKind::Ident,
+                });
+                i = j;
+            }
+            b':' if bytes.get(i + 1) == Some(&b':') => {
+                out.tokens.push(Token {
+                    text: "::".to_string(),
+                    line,
+                    kind: TokenKind::Punct,
+                });
+                i += 2;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    text: (b as char).to_string(),
+                    line,
+                    kind: TokenKind::Punct,
+                });
+                i += 1;
+            }
+        }
+    }
+    out.lines = line;
+    out
+}
+
+/// Scans a `"..."` string starting at the opening quote; returns the
+/// index one past the closing quote and the number of newlines crossed.
+fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut j = start + 1;
+    let mut newlines = 0;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+/// True when `r"`, `r#"`, `br"`, `br#"`... begins at `i`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Scans a raw string `r##"..."##` starting at `r`/`b`; returns the end
+/// index and newlines crossed.
+fn scan_raw_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut j = start;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut newlines = 0;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+            j += 1;
+        } else if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, newlines);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (j, newlines)
+}
+
+/// Scans a char literal at `'`; returns its end, or `None` if this is a
+/// lifetime rather than a char literal.
+fn scan_char_literal(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escape: scan to the closing quote.
+        let mut j = i + 2;
+        if j < bytes.len() {
+            j += 1; // escaped char
+        }
+        // \u{...} escapes.
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&b'\'')).then_some(j + 1);
+    }
+    if bytes.get(i + 2) == Some(&b'\'') && next != b'\'' {
+        return Some(i + 3);
+    }
+    None
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // std::sync::atomic in a comment
+            /* parking_lot::Mutex in a block */
+            let s = "std::sync::atomic::AtomicUsize";
+            let r = r#"parking_lot"#;
+            use std::sync::Arc;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"atomic".to_string()));
+        assert!(!ids.contains(&"parking_lot".to_string()));
+        assert!(ids.contains(&"Arc".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("std::sync::atomic"));
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let lexed = lex("a::b");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "::", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"x\ny\";\nuse b;";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* a /* b */ c */ use z;";
+        let ids = idents(src);
+        assert_eq!(ids, ["use", "z"]);
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped() {
+        let lexed = lex("/// doc text\n//! inner doc\n// plain");
+        assert_eq!(lexed.comments[0].text, " doc text");
+        assert_eq!(lexed.comments[1].text, " inner doc");
+        assert_eq!(lexed.comments[2].text, " plain");
+    }
+}

@@ -1,0 +1,165 @@
+//! `cilkm-lint` — the in-tree project-invariant analyzer.
+//!
+//! The model checker (`crates/checker`) can verify any protocol it is
+//! pointed at; the tracer (`crates/obs`) can measure any path it is
+//! wired into. What neither can do is notice the code that *bypasses*
+//! them: a new `std::sync::atomic` import that sidesteps the `msync`
+//! facade, an allocation creeping into the ~3-L1-access reducer lookup
+//! the paper's performance argument rests on (§5), a typo'd
+//! `cfg(feature = "trce")` that compiles a debug invariant to nothing,
+//! or an `unsafe impl Send` whose justification nobody wrote down.
+//! Those are *project invariants* — true of this codebase by policy,
+//! not expressible in the type system — and this crate lints them on
+//! every CI run ("lint the invariants you can't type-check", after
+//! loom's facade discipline and rayon's raw-deque hygiene).
+//!
+//! Zero dependencies, like `cilkm-checker` and `cilkm-obs`: a
+//! hand-rolled token-level lexer ([`lexer`]) that understands strings,
+//! comments, attributes, and `cfg` expressions (no `syn`), a sliver of
+//! manifest parsing ([`manifest`]), four rule families ([`rules`]), and
+//! a deterministic JSON report ([`report`]). The binary front end is
+//! `cargo run -p cilkm-lint -- --workspace`; see DESIGN.md §12 for the
+//! rule catalogue and waiver syntax.
+
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+
+use std::path::Path;
+
+use manifest::{Crate, Workspace};
+use report::Report;
+use rules::unsafe_ledger::LedgerEntry;
+use rules::FileContext;
+
+/// The outcome of a full lint run.
+pub struct Outcome {
+    /// All findings, stable-sorted, waivers applied.
+    pub report: Report,
+    /// The freshly rendered `UNSAFE_LEDGER.md` content.
+    pub ledger: String,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints the workspace rooted at `root`.
+///
+/// `checked_in_ledger` is the current content of `UNSAFE_LEDGER.md`
+/// (`None` if absent); pass `None` for `ledger_check` behaviour when
+/// regenerating (the caller then writes [`Outcome::ledger`] out and the
+/// diff is vacuous).
+pub fn run_workspace(root: &Path, check_ledger: bool) -> Result<Outcome, String> {
+    let ws = Workspace::discover(root)?;
+    let mut report = Report::default();
+    rules::cfgcheck::check_declared_consistency(&ws.crates, &mut report);
+
+    let mut ledger_entries: Vec<LedgerEntry> = Vec::new();
+    let mut files_scanned = 0usize;
+    for (krate, rel) in ws.files() {
+        let path_str = rel.to_string_lossy().replace('\\', "/");
+        let src = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {path_str}: {e}"))?;
+        scan_file(&path_str, &src, krate, &mut report, &mut ledger_entries);
+        files_scanned += 1;
+    }
+
+    let ledger = rules::unsafe_ledger::render(&ledger_entries);
+    if check_ledger {
+        let checked_in = std::fs::read_to_string(root.join("UNSAFE_LEDGER.md")).ok();
+        rules::unsafe_ledger::diff_against_checked_in(&ledger, checked_in.as_deref(), &mut report);
+    }
+
+    report.sort();
+    Ok(Outcome {
+        report,
+        ledger,
+        files_scanned,
+    })
+}
+
+/// Runs every per-file rule over one source text. Exposed so fixture
+/// tests can drive single files without a workspace.
+pub fn scan_file(
+    path: &str,
+    src: &str,
+    krate: &Crate,
+    report: &mut Report,
+    ledger: &mut Vec<LedgerEntry>,
+) {
+    let lexed = lexer::lex(src);
+    let ctx = FileContext::new(path, &lexed, report);
+    rules::facade::check(&ctx, report);
+    rules::hotpath::check(&ctx, report);
+    rules::cfgcheck::check(&ctx, krate, report);
+    rules::unsafe_ledger::check(&ctx, report, ledger);
+    ctx.flag_unused_waivers(report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn krate(features: &[&str]) -> Crate {
+        Crate {
+            dir: PathBuf::from("crates/x"),
+            features: features.iter().map(|s| s.to_string()).collect(),
+            files: Vec::new(),
+        }
+    }
+
+    fn scan(src: &str, features: &[&str]) -> Report {
+        let mut report = Report::default();
+        let mut ledger = Vec::new();
+        scan_file(
+            "crates/x/src/lib.rs",
+            src,
+            &krate(features),
+            &mut report,
+            &mut ledger,
+        );
+        report.sort();
+        report
+    }
+
+    #[test]
+    fn clean_source_is_clean() {
+        let r = scan(
+            "use crate::msync::atomic::{AtomicUsize, Ordering};\n\
+             fn f() -> usize { 1 }\n",
+            &[],
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn waived_finding_is_reported_but_not_counted() {
+        let r = scan(
+            "// lint: allow(raw-sync, test shim; not part of any modeled protocol)\n\
+             use std::sync::atomic::AtomicUsize;\n",
+            &[],
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].waived.is_some());
+        assert_eq!(r.count(report::Rule::RawSync), 0);
+    }
+
+    #[test]
+    fn reasonless_waiver_is_a_finding() {
+        let r = scan("// lint: allow(raw-sync)\nfn f() {}\n", &[]);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].message.contains("no reason"));
+        assert!(r.findings[0].waived.is_none());
+    }
+
+    #[test]
+    fn unused_waiver_is_a_finding() {
+        let r = scan(
+            "// lint: allow(raw-sync, there used to be an atomic here)\nfn f() {}\n",
+            &[],
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("unused lint waiver"));
+    }
+}

@@ -1,0 +1,119 @@
+//! The `cilkm-lint` command-line front end.
+//!
+//! ```text
+//! cargo run -p cilkm-lint -- --workspace [--root DIR] [--json PATH] [--regen-ledger] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean (or only waived findings), `1` unwaived
+//! findings, `2` usage or I/O error. CI runs
+//! `--workspace --json bench_out/lint_report.json` and archives the
+//! report; `--regen-ledger` rewrites `UNSAFE_LEDGER.md` after the set
+//! of unsafe contracts legitimately changed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut regen_ledger = false;
+    let mut workspace = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--regen-ledger" => regen_ledger = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                return usage("");
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage("pass --workspace (the only supported mode)");
+    }
+
+    // When regenerating, the ledger diff is checked against what we are
+    // about to write, i.e. skipped.
+    let outcome = match cilkm_lint::run_workspace(&root, !regen_ledger) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cilkm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if regen_ledger {
+        let path = root.join("UNSAFE_LEDGER.md");
+        if let Err(e) = std::fs::write(&path, &outcome.ledger) {
+            eprintln!("cilkm-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            eprintln!("cilkm-lint: regenerated {}", path.display());
+        }
+    }
+
+    if let Some(path) = &json_out {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, outcome.report.to_json()) {
+            eprintln!("cilkm-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let unwaived: Vec<_> = outcome.report.unwaived().collect();
+    if !quiet {
+        for f in &outcome.report.findings {
+            match &f.waived {
+                None => eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule.name(), f.message),
+                Some(reason) => eprintln!(
+                    "{}:{}: [{}] waived ({reason}): {}",
+                    f.file,
+                    f.line,
+                    f.rule.name(),
+                    f.message
+                ),
+            }
+        }
+        eprintln!(
+            "cilkm-lint: {} files scanned, {} finding(s), {} unwaived",
+            outcome.files_scanned,
+            outcome.report.findings.len(),
+            unwaived.len()
+        );
+    }
+
+    if unwaived.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("cilkm-lint: {err}");
+    }
+    eprintln!(
+        "usage: cilkm-lint --workspace [--root DIR] [--json PATH] [--regen-ledger] [--quiet]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,237 @@
+//! Workspace discovery and the sliver of `Cargo.toml` the lint needs.
+//!
+//! `cilkm-lint` is zero-dependency, so instead of a TOML crate this
+//! module hand-parses exactly two things from the in-tree manifests:
+//!
+//! * the workspace `members = [...]` list (root `Cargo.toml`), and
+//! * each crate's declared feature names — the `[features]` table keys
+//!   plus `optional = true` dependency names (which Cargo turns into
+//!   implicit features unless only referenced via `dep:`).
+//!
+//! That is all the `cfg-feature` rule needs, and the parser is strict
+//! enough that a manifest it misreads would also be one a human
+//! misreads. Line-oriented; quoted keys, inline tables, and arrays
+//! spanning lines are handled; exotic TOML (multi-line strings in the
+//! sections we read) is not used in this repository.
+
+use std::path::{Path, PathBuf};
+
+/// One workspace member (or the root package) with what the rules need.
+#[derive(Clone, Debug)]
+pub struct Crate {
+    /// Directory containing the crate's `Cargo.toml`, workspace-relative
+    /// (empty for the root package).
+    pub dir: PathBuf,
+    /// Feature names this crate's `Cargo.toml` declares, sorted.
+    pub features: Vec<String>,
+    /// Rust sources belonging to this crate, workspace-relative, sorted.
+    pub files: Vec<PathBuf>,
+}
+
+/// The whole workspace as the lint sees it.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// Workspace root (absolute or as given on the command line).
+    pub root: PathBuf,
+    /// Crates, in member-list order; the root package is last.
+    pub crates: Vec<Crate>,
+}
+
+impl Workspace {
+    /// Discovers the workspace under `root` by reading its `Cargo.toml`.
+    ///
+    /// Fixture directories (`**/fixtures/**`) are skipped: they hold
+    /// deliberate rule violations for the lint's own tests, and are not
+    /// compiled into any crate.
+    pub fn discover(root: &Path) -> Result<Workspace, String> {
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml"))
+            .map_err(|e| format!("reading {}: {e}", root.join("Cargo.toml").display()))?;
+        let members = workspace_members(&manifest);
+        let mut crates = Vec::new();
+        for member in members {
+            let dir = root.join(&member);
+            let mtoml = std::fs::read_to_string(dir.join("Cargo.toml"))
+                .map_err(|e| format!("reading {}: {e}", dir.join("Cargo.toml").display()))?;
+            crates.push(Crate {
+                dir: PathBuf::from(&member),
+                features: declared_features(&mtoml),
+                files: rust_sources(root, Path::new(&member)),
+            });
+        }
+        // The root package: its sources are src/, tests/, examples/,
+        // benches/ directly under the root (not under any member).
+        let mut root_files = Vec::new();
+        for sub in ["src", "tests", "examples", "benches"] {
+            collect_rs(&root.join(sub), root, &mut root_files);
+        }
+        root_files.sort();
+        crates.push(Crate {
+            dir: PathBuf::new(),
+            features: declared_features(&manifest),
+            files: root_files,
+        });
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            crates,
+        })
+    }
+
+    /// Every source file with its owning crate, in deterministic order.
+    pub fn files(&self) -> impl Iterator<Item = (&Crate, &PathBuf)> {
+        self.crates
+            .iter()
+            .flat_map(|c| c.files.iter().map(move |f| (c, f)))
+    }
+}
+
+/// Extracts `members = [...]` from the `[workspace]` section.
+fn workspace_members(manifest: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_workspace = false;
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let t = strip_toml_comment(line).trim().to_string();
+        if t.starts_with('[') {
+            in_workspace = t == "[workspace]";
+            in_members = false;
+            continue;
+        }
+        if in_workspace && t.starts_with("members") {
+            in_members = true;
+        }
+        if in_members {
+            for piece in t.split('"').skip(1).step_by(2) {
+                members.push(piece.to_string());
+            }
+            if t.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    members
+}
+
+/// Feature names a crate declares: `[features]` keys plus optional
+/// dependencies (implicit features).
+fn declared_features(manifest: &str) -> Vec<String> {
+    let mut features = Vec::new();
+    let mut section = String::new();
+    for line in manifest.lines() {
+        let t = strip_toml_comment(line).trim().to_string();
+        if t.starts_with('[') {
+            section = t;
+            continue;
+        }
+        if t.is_empty() {
+            continue;
+        }
+        if section == "[features]" {
+            if let Some(eq) = t.find('=') {
+                let key = t[..eq].trim().trim_matches('"');
+                // A continuation line of a multi-line array has no key
+                // shape; require an identifier-looking key.
+                if !key.is_empty()
+                    && key
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    features.push(key.to_string());
+                }
+            }
+        } else if (section.starts_with("[dependencies")
+            || section.starts_with("[dev-dependencies")
+            || section.starts_with("[build-dependencies"))
+            && t.contains("optional")
+            && t.contains("true")
+        {
+            if let Some(eq) = t.find('=') {
+                features.push(t[..eq].trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    features.sort();
+    features.dedup();
+    features
+}
+
+/// Drops a `#`-to-end-of-line TOML comment (quote-aware).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// All `.rs` files belonging to the member at `dir`, workspace-relative.
+fn rust_sources(root: &Path, dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    collect_rs(&root.join(dir), root, &mut files);
+    files.sort();
+    files
+}
+
+/// Recursively collects `.rs` files under `path` (skipping `target/` and
+/// `fixtures/`), pushing workspace-relative paths.
+fn collect_rs(path: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&p, root, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = p.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_are_extracted() {
+        let m = workspace_members(
+            "[workspace]\nmembers = [\n  \"crates/a\", # trailing\n  \"crates/b\",\n]\n",
+        );
+        assert_eq!(m, ["crates/a", "crates/b"]);
+    }
+
+    #[test]
+    fn features_include_table_keys_and_optional_deps() {
+        let manifest = r#"
+[package]
+name = "x"
+
+[features]
+trace = []
+model = ["dep:checker"] # comment
+"weird-name" = []
+
+[dependencies]
+checker = { path = "../checker", optional = true }
+plain = { path = "../plain" }
+"#;
+        let f = declared_features(manifest);
+        assert_eq!(f, ["checker", "model", "trace", "weird-name"]);
+    }
+
+    #[test]
+    fn comments_do_not_leak_into_values() {
+        assert_eq!(strip_toml_comment("a = 1 # note"), "a = 1 ");
+        assert_eq!(strip_toml_comment("s = \"#hash\" # real"), "s = \"#hash\" ");
+    }
+}

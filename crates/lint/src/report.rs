@@ -1,0 +1,488 @@
+//! Findings, the machine-readable report, and its JSON codec.
+//!
+//! The JSON report is what CI archives next to the bench CSVs, so it
+//! must be **diffable**: findings are stable-sorted by (file, line,
+//! rule, message) and serialization is deterministic (same report ⇒
+//! byte-identical JSON). The codec is hand-rolled — `cilkm-lint` is a
+//! zero-dependency crate like `cilkm-checker` and `cilkm-obs` — and the
+//! parser exists so tests can prove the emitted JSON round-trips.
+
+use std::fmt::Write as _;
+
+/// The four rule families (see DESIGN.md §12).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Facade integrity: raw `std::sync::atomic` / `Mutex` / `Condvar` /
+    /// `thread::park` outside the `msync` facades.
+    RawSync,
+    /// Fast-path purity: allocation, formatting, or panicking indexing
+    /// inside a `// lint: hot-path` function.
+    HotPath,
+    /// `cfg(feature = ...)` hygiene: undeclared or inconsistent feature
+    /// names.
+    CfgFeature,
+    /// Unsafe contracts: missing `// SAFETY:` rationale or a stale
+    /// `UNSAFE_LEDGER.md`.
+    UnsafeLedger,
+}
+
+impl Rule {
+    /// The stable kebab-case name used in waivers, JSON, and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::RawSync => "raw-sync",
+            Rule::HotPath => "hot-path",
+            Rule::CfgFeature => "cfg-feature",
+            Rule::UnsafeLedger => "unsafe-ledger",
+        }
+    }
+
+    /// Parses a rule name as written in a waiver.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "raw-sync" => Some(Rule::RawSync),
+            "hot-path" => Some(Rule::HotPath),
+            "cfg-feature" => Some(Rule::CfgFeature),
+            "unsafe-ledger" => Some(Rule::UnsafeLedger),
+            _ => None,
+        }
+    }
+
+    /// All rules, in report order.
+    pub const ALL: [Rule; 4] = [
+        Rule::RawSync,
+        Rule::HotPath,
+        Rule::CfgFeature,
+        Rule::UnsafeLedger,
+    ];
+}
+
+/// One finding: a rule violation at a source location. Waived findings
+/// are kept in the report (so the waiver inventory is auditable) but do
+/// not fail the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(reason)` when a `// lint: allow(...)` waiver covers this
+    /// finding.
+    pub waived: Option<String>,
+}
+
+/// A full lint run: every finding plus per-rule totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, stable-sorted (see [`Report::sort`]).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Stable order for diffable output: file, then line, then rule,
+    /// then message.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule,
+                b.message.as_str(),
+            ))
+        });
+    }
+
+    /// Findings not covered by a waiver — the ones that fail CI.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived.is_none())
+    }
+
+    /// Count of unwaived findings for one rule.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.unwaived().filter(|f| f.rule == rule).count()
+    }
+
+    /// Serializes the report as deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 1,\n  \"summary\": {");
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    \"{}\": {}", rule.name(), self.count(*rule));
+        }
+        let _ = write!(
+            s,
+            "\n  }},\n  \"waived\": {},\n  \"findings\": [",
+            self.findings.len() - self.unwaived().count()
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"waived\": {}}}",
+                json_string(f.rule.name()),
+                json_string(&f.file),
+                f.line,
+                json_string(&f.message),
+                match &f.waived {
+                    None => "null".to_string(),
+                    Some(r) => json_string(r),
+                }
+            );
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parses a report previously produced by [`Report::to_json`].
+    /// Tolerates any whitespace; rejects anything structurally off.
+    pub fn from_json(src: &str) -> Result<Report, String> {
+        let mut p = JsonParser::new(src);
+        let value = p.value()?;
+        p.expect_eof()?;
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let findings_val = obj
+            .iter()
+            .find(|(k, _)| k == "findings")
+            .map(|(_, v)| v)
+            .ok_or("missing \"findings\"")?;
+        let arr = findings_val
+            .as_array()
+            .ok_or("\"findings\" is not an array")?;
+        let mut findings = Vec::new();
+        for item in arr {
+            let f = item.as_object().ok_or("finding is not an object")?;
+            let get = |key: &str| f.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            let rule_name = get("rule")
+                .and_then(|v| v.as_str())
+                .ok_or("finding missing \"rule\"")?;
+            findings.push(Finding {
+                rule: Rule::from_name(rule_name)
+                    .ok_or_else(|| format!("unknown rule {rule_name:?}"))?,
+                file: get("file")
+                    .and_then(|v| v.as_str())
+                    .ok_or("finding missing \"file\"")?
+                    .to_string(),
+                line: get("line")
+                    .and_then(|v| v.as_u32())
+                    .ok_or("finding missing \"line\"")?,
+                message: get("message")
+                    .and_then(|v| v.as_str())
+                    .ok_or("finding missing \"message\"")?
+                    .to_string(),
+                waived: match get("waived") {
+                    None => return Err("finding missing \"waived\"".into()),
+                    Some(JsonValue::Null) => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .ok_or("\"waived\" is neither null nor a string")?
+                            .to_string(),
+                    ),
+                },
+            });
+        }
+        Ok(Report { findings })
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value — only the subset the report uses.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    /// Key order preserved (the report's is deterministic anyway).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn as_object(&self) -> Option<&Vec<(String, JsonValue)>> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&Vec<JsonValue>> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u32(&self) -> Option<u32> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A small recursive-descent JSON parser (report subset: no scientific
+/// notation needed, but accepted; no surrogate-pair escapes).
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(src: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), String> {
+        if self.peek().is_none() {
+            Ok(())
+        } else {
+            Err(format!("trailing content at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word} at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| {
+            b.is_ascii_digit() || *b == b'.' || *b == b'e' || *b == b'E' || *b == b'+' || *b == b'-'
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte aware).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8 in string")?;
+                    let c = s.chars().next().ok_or("empty string tail")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => return Err(format!("expected , or ] but found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(entries));
+                }
+                other => return Err(format!("expected , or }} but found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            findings: vec![
+                Finding {
+                    rule: Rule::CfgFeature,
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 9,
+                    message: "feature \"trce\" is not declared in crates/x/Cargo.toml".into(),
+                    waived: None,
+                },
+                Finding {
+                    rule: Rule::RawSync,
+                    file: "crates/a/src/lib.rs".into(),
+                    line: 3,
+                    message: "raw `std::sync::atomic` outside the msync facade".into(),
+                    waived: Some("monitoring counters\twith a tab".into()),
+                },
+            ],
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let json = r.to_json();
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        // Idempotent: re-serializing the parsed report is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn sort_is_stable_by_file_then_line() {
+        let r = sample();
+        assert_eq!(r.findings[0].file, "crates/a/src/lib.rs");
+        assert_eq!(r.findings[1].file, "crates/x/src/lib.rs");
+    }
+
+    #[test]
+    fn summary_counts_only_unwaived() {
+        let r = sample();
+        assert_eq!(r.count(Rule::RawSync), 0, "waived finding must not count");
+        assert_eq!(r.count(Rule::CfgFeature), 1);
+        assert!(r.to_json().contains("\"waived\": 1"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Rule `cfg-feature` — `cfg(feature = ...)` hygiene.
+//!
+//! A typo'd feature name in a `cfg` is the quietest possible bug: the
+//! guarded code (often a debug invariant or a model-checker hook)
+//! simply never compiles, in any configuration, and nothing warns. This
+//! rule closes that hole two ways:
+//!
+//! 1. **Declaration check** — every feature named in `#[cfg(...)]`,
+//!    `#[cfg_attr(...)]`, or `cfg!(...)` in a crate must be declared in
+//!    that crate's `Cargo.toml` (`[features]` keys or `optional`
+//!    dependencies). `cfg(feature = "trce")` in a crate that declares
+//!    `trace` is an error.
+//! 2. **Workspace consistency** — the workspace's cross-cutting
+//!    features (`model`, `trace`, `instrument`) must be spelled
+//!    identically in every member that declares them: a *declared*
+//!    feature one edit away from a canonical name (`modle`, `trcae`)
+//!    is an error too, so the typo can't hide in a manifest either.
+//!
+//! Feature predicates nest (`all(test, feature = "trace")`); the rule
+//! scans every `feature = "..."` pair inside the predicate regardless
+//! of depth.
+
+use crate::lexer::{Token, TokenKind};
+use crate::manifest::Crate;
+use crate::report::{Finding, Report, Rule};
+use crate::rules::{matching_close, seq_matches, FileContext};
+
+/// The cross-cutting workspace features that must be spelled
+/// consistently everywhere (see the root `Cargo.toml` and DESIGN.md
+/// §§10–12).
+pub const CANONICAL_FEATURES: &[&str] = &["model", "trace", "instrument"];
+
+/// Scans one file against its owning crate's declared features.
+pub fn check(ctx: &FileContext<'_>, krate: &Crate, report: &mut Report) {
+    let toks = &ctx.lexed.tokens;
+    let manifest = if krate.dir.as_os_str().is_empty() {
+        "Cargo.toml".to_string()
+    } else {
+        format!("{}/Cargo.toml", krate.dir.display())
+    };
+    let mut i = 0;
+    while i < toks.len() {
+        // Attribute: `#[...]` or `#![...]`.
+        if toks[i].text == "#" {
+            let open = if toks.get(i + 1).is_some_and(|t| t.text == "[") {
+                i + 1
+            } else if toks.get(i + 1).is_some_and(|t| t.text == "!")
+                && toks.get(i + 2).is_some_and(|t| t.text == "[")
+            {
+                i + 2
+            } else {
+                i += 1;
+                continue;
+            };
+            if let Some(close) = matching_close(toks, open) {
+                let attr = &toks[open..=close];
+                let is_cfg = attr.iter().any(|t| {
+                    t.kind == TokenKind::Ident && (t.text == "cfg" || t.text == "cfg_attr")
+                });
+                if is_cfg {
+                    check_predicate(ctx, krate, &manifest, attr, report);
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        // `cfg!(...)` expression macro.
+        if toks[i].kind == TokenKind::Ident
+            && toks[i].text == "cfg"
+            && toks.get(i + 1).is_some_and(|t| t.text == "!")
+            && toks.get(i + 2).is_some_and(|t| t.text == "(")
+        {
+            if let Some(close) = matching_close(toks, i + 2) {
+                check_predicate(ctx, krate, &manifest, &toks[i + 2..=close], report);
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Reports every `feature = "name"` in `pred` whose name the crate does
+/// not declare.
+fn check_predicate(
+    ctx: &FileContext<'_>,
+    krate: &Crate,
+    manifest: &str,
+    pred: &[Token],
+    report: &mut Report,
+) {
+    for k in 0..pred.len() {
+        if seq_matches(pred, k, &["feature", "="]) {
+            let Some(lit) = pred.get(k + 2).filter(|t| t.kind == TokenKind::Literal) else {
+                continue;
+            };
+            let name = lit.text.trim_matches('"');
+            if !krate.features.iter().any(|f| f == name) {
+                let near = krate
+                    .features
+                    .iter()
+                    .find(|f| edit_distance_at_most_one(f, name))
+                    .map(|f| format!(" (did you mean `{f}`?)"))
+                    .unwrap_or_default();
+                ctx.emit(
+                    report,
+                    Rule::CfgFeature,
+                    lit.line,
+                    format!(
+                        "cfg names feature `{name}`, which {manifest} does not declare{near} — \
+                         the guarded code can never compile"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Workspace-level pass over the manifests themselves: declared feature
+/// names one typo away from a canonical cross-cutting feature.
+pub fn check_declared_consistency(crates: &[Crate], report: &mut Report) {
+    for krate in crates {
+        let manifest = if krate.dir.as_os_str().is_empty() {
+            "Cargo.toml".to_string()
+        } else {
+            format!("{}/Cargo.toml", krate.dir.display())
+        };
+        for f in &krate.features {
+            for canon in CANONICAL_FEATURES {
+                if f != canon && edit_distance_at_most_one(f, canon) {
+                    report.findings.push(Finding {
+                        rule: Rule::CfgFeature,
+                        file: manifest.clone(),
+                        line: 1,
+                        message: format!(
+                            "declared feature `{f}` is one edit from the workspace-wide \
+                             `{canon}` — rename it or pick a clearly distinct name"
+                        ),
+                        waived: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// True when `a` and `b` are within Levenshtein distance 1 (one insert,
+/// delete, or substitute) — including equal strings.
+fn edit_distance_at_most_one(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    match long.len() - short.len() {
+        0 => short.iter().zip(long).filter(|(x, y)| x != y).count() <= 1,
+        1 => {
+            // One deletion from `long` must yield `short`.
+            let mut i = 0;
+            while i < short.len() && short[i] == long[i] {
+                i += 1;
+            }
+            short[i..] == long[i + 1..]
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::edit_distance_at_most_one as near;
+
+    #[test]
+    fn edit_distance_one() {
+        assert!(near("trace", "trace"));
+        assert!(near("trce", "trace"));
+        assert!(near("tracee", "trace"));
+        assert!(near("trqce", "trace"));
+        assert!(!near("trc", "trace"));
+        assert!(!near("model", "trace"));
+    }
+}

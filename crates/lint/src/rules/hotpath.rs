@@ -1,0 +1,222 @@
+//! Rule `hot-path` — fast-path purity.
+//!
+//! The paper's central performance claim is a reducer lookup that costs
+//! about three L1 accesses (§5); PR 1 additionally drove the repeated
+//! mmap lookup to ~2.3 ns. At that scale a single stray allocation,
+//! `format!`, or bounds-checked index is not a slowdown, it is a
+//! different algorithm. Functions annotated
+//!
+//! ```text
+//! // lint: hot-path
+//! #[inline(always)]
+//! pub(crate) fn lookup(...) { ... }
+//! ```
+//!
+//! may not (anywhere in their body, including closures):
+//!
+//! * call an allocating constructor (`Box::new`, `Vec::with_capacity`,
+//!   `String::from`, `Arc::new`, …) or an allocating conversion method
+//!   (`.to_string()`, `.to_owned()`, `.to_vec()`, `.collect()`),
+//! * expand a formatting macro (`format!`, `write!`, `println!`, …) or
+//!   `vec!`,
+//! * index with `[]` (panicking bounds check plus an untakeable branch
+//!   on the fast path — use pointer arithmetic with a `// SAFETY:`
+//!   comment or `get_unchecked`).
+//!
+//! `assert!`/`debug_assert!` are deliberately allowed: the fast paths
+//! carry cheap invariant checks, and the paper's cost accounting
+//! includes them. Cold outlined companions (`#[cold]` miss paths) are
+//! simply not annotated.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::{Report, Rule};
+use crate::rules::FileContext;
+
+/// Macros whose expansion formats (and allocates) — plus `vec!`.
+const FMT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "vec",
+    "dbg",
+];
+
+/// Types whose associated constructors allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Box", "Vec", "String", "Arc", "Rc", "VecDeque", "HashMap", "BTreeMap", "HashSet", "BTreeSet",
+    "CString",
+];
+
+/// Allocating constructor names on [`ALLOC_TYPES`].
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from", "default", "into_raw"];
+
+/// Allocating conversion methods.
+const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec", "collect"];
+
+/// Scans one file: for each `// lint: hot-path` marker, finds the next
+/// function and checks its body.
+pub fn check(ctx: &FileContext<'_>, report: &mut Report) {
+    let toks = &ctx.lexed.tokens;
+    for &marker_line in &ctx.hot_markers {
+        // The next `fn` token after the marker (attributes, visibility,
+        // `unsafe`, and doc comments may all sit in between).
+        let Some(fn_idx) = toks
+            .iter()
+            .position(|t| t.line > marker_line && t.kind == TokenKind::Ident && t.text == "fn")
+        else {
+            ctx.emit(
+                report,
+                Rule::HotPath,
+                marker_line,
+                "`lint: hot-path` marker is not followed by a function".to_string(),
+            );
+            continue;
+        };
+        let Some((body_open, body_close)) = fn_body(toks, fn_idx) else {
+            ctx.emit(
+                report,
+                Rule::HotPath,
+                marker_line,
+                "`lint: hot-path` marker precedes a bodyless function declaration".to_string(),
+            );
+            continue;
+        };
+        let name = toks
+            .get(fn_idx + 1)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        check_body(ctx, report, &name, &toks[body_open..=body_close]);
+    }
+}
+
+/// Locates the `{ ... }` body of the function whose `fn` keyword is at
+/// `fn_idx`. Returns `None` for bodyless declarations (trait items).
+fn fn_body(toks: &[Token], fn_idx: usize) -> Option<(usize, usize)> {
+    let mut paren_depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(fn_idx) {
+        match t.text.as_str() {
+            "(" | "[" => paren_depth += 1,
+            ")" | "]" => paren_depth -= 1,
+            ";" if paren_depth == 0 => return None,
+            "{" if paren_depth == 0 => {
+                let close = super::matching_close(toks, k)?;
+                return Some((k, close));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Checks the token slice of one hot function body.
+fn check_body(ctx: &FileContext<'_>, report: &mut Report, fn_name: &str, body: &[Token]) {
+    for (k, t) in body.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident => {
+                let next = body.get(k + 1).map(|t| t.text.as_str());
+                // Formatting macro (ident followed by `!`, not `!=`).
+                if FMT_MACROS.contains(&t.text.as_str())
+                    && next == Some("!")
+                    && body.get(k + 2).map(|t| t.text.as_str()) != Some("=")
+                {
+                    ctx.emit(
+                        report,
+                        Rule::HotPath,
+                        t.line,
+                        format!(
+                            "`{}!` in hot-path fn `{fn_name}` — formatting/allocating \
+                             macros are banned on the fast path",
+                            t.text
+                        ),
+                    );
+                }
+                // Allocating constructor path: Type::ctor.
+                if ALLOC_TYPES.contains(&t.text.as_str())
+                    && next == Some("::")
+                    && body
+                        .get(k + 2)
+                        .is_some_and(|c| ALLOC_CTORS.contains(&c.text.as_str()))
+                {
+                    ctx.emit(
+                        report,
+                        Rule::HotPath,
+                        t.line,
+                        format!(
+                            "allocating constructor `{}::{}` in hot-path fn `{fn_name}`",
+                            t.text,
+                            body[k + 2].text
+                        ),
+                    );
+                }
+                // Allocating conversion method: `.to_string()` etc.
+                if ALLOC_METHODS.contains(&t.text.as_str())
+                    && k > 0
+                    && body[k - 1].text == "."
+                    && next == Some("(")
+                {
+                    ctx.emit(
+                        report,
+                        Rule::HotPath,
+                        t.line,
+                        format!(
+                            "allocating method `.{}()` in hot-path fn `{fn_name}`",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            TokenKind::Punct if t.text == "[" && k > 0 => {
+                // `expr[...]` indexing: `[` right after an expression
+                // tail. Array literals, attributes, slice types, and
+                // generics all have non-expression tokens before `[`.
+                let prev = &body[k - 1];
+                let is_index = prev.kind == TokenKind::Ident && !is_keyword(&prev.text)
+                    || prev.text == ")"
+                    || prev.text == "]";
+                if is_index {
+                    ctx.emit(
+                        report,
+                        Rule::HotPath,
+                        t.line,
+                        format!(
+                            "panicking `[]` indexing in hot-path fn `{fn_name}` — the bounds \
+                             check costs a branch; use checked pointer arithmetic or \
+                             `get_unchecked` with a SAFETY comment"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, …).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "break"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "mut"
+            | "ref"
+            | "move"
+            | "as"
+            | "const"
+            | "static"
+            | "let"
+            | "dyn"
+            | "impl"
+            | "where"
+            | "unsafe"
+    )
+}

@@ -1,0 +1,240 @@
+//! The rule engine: waiver parsing, per-file scan context, and the four
+//! rule families.
+//!
+//! ## Waiver syntax
+//!
+//! A finding can be acknowledged in source with a justified waiver —
+//! the analogue of rayon's hand-audited raw-deque hygiene notes. Two
+//! scopes exist:
+//!
+//! ```text
+//! // lint: allow(raw-sync, monitoring counters only; Relaxed, never ordering)
+//! // lint: allow-file(raw-sync, this whole file is monitoring plumbing)
+//! ```
+//!
+//! A **line waiver** covers its own line and the next line that holds
+//! code (so it can trail the offending expression or sit on its own
+//! line above it). A **file waiver** covers the whole file for one
+//! rule. The reason is mandatory: a reason-less waiver is itself a
+//! finding, and so is a waiver that no longer covers anything — waivers
+//! must not outlive the violation they excuse.
+//!
+//! ## Hot-path markers
+//!
+//! `// lint: hot-path` immediately above a function (attributes may
+//! intervene) opts that function into the fast-path purity rule.
+
+pub mod cfgcheck;
+pub mod facade;
+pub mod hotpath;
+pub mod unsafe_ledger;
+
+use crate::lexer::{Comment, Lexed, Token, TokenKind};
+use crate::report::{Finding, Report, Rule};
+
+/// One parsed waiver comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Rule being waived.
+    pub rule: Rule,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// True for `allow-file`.
+    pub file_scope: bool,
+    /// Set when some finding was covered (for unused-waiver hygiene).
+    pub used: std::cell::Cell<bool>,
+}
+
+/// Everything the rules know about one source file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// Token/comment streams.
+    pub lexed: &'a Lexed,
+    /// Parsed waivers, in source order.
+    pub waivers: Vec<Waiver>,
+    /// Lines carrying a `// lint: hot-path` marker.
+    pub hot_markers: Vec<u32>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Builds the context: parses waivers and markers out of the
+    /// comment stream, reporting malformed ones straight into `report`.
+    pub fn new(path: &'a str, lexed: &'a Lexed, report: &mut Report) -> FileContext<'a> {
+        let mut waivers = Vec::new();
+        let mut hot_markers = Vec::new();
+        for c in &lexed.comments {
+            let Some(directive) = lint_directive(c) else {
+                continue;
+            };
+            match directive {
+                Directive::HotPath => hot_markers.push(c.line),
+                Directive::Allow {
+                    rule,
+                    reason,
+                    file_scope,
+                } => match rule {
+                    None => report.findings.push(Finding {
+                        rule: Rule::UnsafeLedger,
+                        file: path.to_string(),
+                        line: c.line,
+                        message: format!("lint waiver names an unknown rule: `{}`", c.text.trim()),
+                        waived: None,
+                    }),
+                    Some(rule) if reason.is_empty() => report.findings.push(Finding {
+                        rule,
+                        file: path.to_string(),
+                        line: c.line,
+                        message: "lint waiver has no reason; write \
+                                  `// lint: allow(<rule>, <why this is sound>)`"
+                            .to_string(),
+                        waived: None,
+                    }),
+                    Some(rule) => waivers.push(Waiver {
+                        rule,
+                        reason,
+                        line: c.line,
+                        file_scope,
+                        used: std::cell::Cell::new(false),
+                    }),
+                },
+                Directive::Malformed => report.findings.push(Finding {
+                    rule: Rule::UnsafeLedger,
+                    file: path.to_string(),
+                    line: c.line,
+                    message: format!("malformed lint directive: `{}`", c.text.trim()),
+                    waived: None,
+                }),
+            }
+        }
+        FileContext {
+            path,
+            lexed,
+            waivers,
+            hot_markers,
+        }
+    }
+
+    /// The waiver covering a finding of `rule` at `line`, if any. A line
+    /// waiver covers its own line and the next code line after it; a
+    /// file waiver covers everything.
+    pub fn waiver_for(&self, rule: Rule, line: u32) -> Option<&Waiver> {
+        let hit = self.waivers.iter().find(|w| {
+            w.rule == rule
+                && (w.file_scope || w.line == line || self.next_code_line(w.line) == Some(line))
+        });
+        if let Some(w) = hit {
+            w.used.set(true);
+        }
+        hit
+    }
+
+    /// First line strictly after `line` that carries a significant token.
+    fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.lexed.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+
+    /// Pushes `finding`, consulting waivers first.
+    pub fn emit(&self, report: &mut Report, rule: Rule, line: u32, message: String) {
+        let waived = self.waiver_for(rule, line).map(|w| w.reason.clone());
+        report.findings.push(Finding {
+            rule,
+            file: self.path.to_string(),
+            line,
+            message,
+            waived,
+        });
+    }
+
+    /// After all rules ran: any waiver that never covered a finding is
+    /// itself reported, so stale waivers can't silently accumulate.
+    pub fn flag_unused_waivers(&self, report: &mut Report) {
+        for w in &self.waivers {
+            if !w.used.get() {
+                report.findings.push(Finding {
+                    rule: w.rule,
+                    file: self.path.to_string(),
+                    line: w.line,
+                    message: format!(
+                        "unused lint waiver for `{}` — the violation it excused is gone; \
+                         remove the waiver",
+                        w.rule.name()
+                    ),
+                    waived: None,
+                });
+            }
+        }
+    }
+}
+
+/// A recognized `lint:` comment.
+enum Directive {
+    HotPath,
+    Allow {
+        rule: Option<Rule>,
+        reason: String,
+        file_scope: bool,
+    },
+    Malformed,
+}
+
+/// Parses a comment into a lint directive, if it is one.
+fn lint_directive(c: &Comment) -> Option<Directive> {
+    let t = c.text.trim();
+    let rest = t.strip_prefix("lint:")?.trim();
+    if rest == "hot-path" {
+        return Some(Directive::HotPath);
+    }
+    for (prefix, file_scope) in [("allow-file(", true), ("allow(", false)] {
+        if let Some(body) = rest.strip_prefix(prefix) {
+            let Some(body) = body.strip_suffix(')') else {
+                return Some(Directive::Malformed);
+            };
+            let (rule_name, reason) = match body.split_once(',') {
+                Some((r, why)) => (r.trim(), why.trim().to_string()),
+                None => (body.trim(), String::new()),
+            };
+            return Some(Directive::Allow {
+                rule: Rule::from_name(rule_name),
+                reason,
+                file_scope,
+            });
+        }
+    }
+    Some(Directive::Malformed)
+}
+
+/// True when `tokens[i..]` begins with the given identifier/punct texts.
+pub(crate) fn seq_matches(tokens: &[Token], i: usize, pattern: &[&str]) -> bool {
+    pattern
+        .iter()
+        .enumerate()
+        .all(|(k, p)| tokens.get(i + k).is_some_and(|t| t.text == *p))
+}
+
+/// Index of the matching close delimiter for the open one at `open`
+/// (`tokens[open]` must be `(`, `[`, or `{`).
+pub(crate) fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+    let (o, c) = match tokens[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,241 @@
+//! Rule `unsafe-ledger` — unsafe contracts and the checked-in registry.
+//!
+//! The repository's clippy configuration already denies undocumented
+//! `unsafe` blocks; this rule closes the remaining gaps and gives the
+//! audit surface a single reviewable artifact:
+//!
+//! * every `unsafe impl Send`/`unsafe impl Sync` must be immediately
+//!   preceded by a `// SAFETY:` comment,
+//! * every `// SAFETY:` comment in the workspace must carry a
+//!   **non-empty rationale** (clippy only checks existence),
+//! * the whole inventory — impls and rationales — must match the
+//!   checked-in `UNSAFE_LEDGER.md`, which this rule regenerates and
+//!   diffs. A new unsafe site therefore shows up in review twice: once
+//!   in the code and once as a ledger diff, and deleting a site without
+//!   updating the ledger fails CI just the same.
+//!
+//! Entries carry no line numbers, so edits elsewhere in a file don't
+//! churn the ledger; `cargo run -p cilkm-lint -- --workspace
+//! --regen-ledger` rewrites it after genuine changes.
+
+use crate::lexer::TokenKind;
+use crate::report::{Report, Rule};
+use crate::rules::FileContext;
+
+/// One ledger entry: an `unsafe impl Send/Sync` or a `// SAFETY:`
+/// rationale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Workspace-relative file.
+    pub file: String,
+    /// `impl-send`, `impl-sync`, or `safety-comment`.
+    pub kind: &'static str,
+    /// The implementing type (impls) or empty (comments).
+    pub subject: String,
+    /// Whitespace-normalized rationale excerpt.
+    pub excerpt: String,
+}
+
+/// Scans one file: enforces rationale presence and collects entries.
+pub fn check(ctx: &FileContext<'_>, report: &mut Report, ledger: &mut Vec<LedgerEntry>) {
+    let toks = &ctx.lexed.tokens;
+
+    // Every SAFETY comment: non-empty rationale, and a ledger entry.
+    // Continuation lines (comments on the immediately following lines
+    // that are not themselves SAFETY headers) extend the rationale.
+    let mut skip_until_line = 0u32;
+    for (ci, c) in ctx.lexed.comments.iter().enumerate() {
+        let trimmed = c.text.trim_start();
+        if !trimmed.starts_with("SAFETY:") {
+            continue;
+        }
+        if c.line < skip_until_line {
+            continue; // part of a previous comment's continuation
+        }
+        let mut rationale = trimmed["SAFETY:".len()..].trim().to_string();
+        let mut last_line = c.line;
+        for next in &ctx.lexed.comments[ci + 1..] {
+            let nt = next.text.trim_start();
+            if next.line == last_line + 1 && next.is_line && !nt.starts_with("SAFETY:") {
+                rationale.push(' ');
+                rationale.push_str(nt.trim_end());
+                last_line = next.line;
+            } else {
+                break;
+            }
+        }
+        skip_until_line = last_line + 1;
+        if rationale.trim().is_empty() {
+            ctx.emit(
+                report,
+                Rule::UnsafeLedger,
+                c.line,
+                "`// SAFETY:` comment with an empty rationale — state the invariant \
+                 that makes the unsafe code sound"
+                    .to_string(),
+            );
+        } else {
+            ledger.push(LedgerEntry {
+                file: ctx.path.to_string(),
+                kind: "safety-comment",
+                subject: String::new(),
+                excerpt: excerpt(&rationale),
+            });
+        }
+    }
+
+    // Every `unsafe impl ... Send/Sync ... for Type`.
+    for i in 0..toks.len() {
+        if toks[i].text != "unsafe" || toks.get(i + 1).map(|t| t.text.as_str()) != Some("impl") {
+            continue;
+        }
+        // Between `impl` and `for`: the trait path (maybe with generic
+        // params before it). Between `for` and `{`/`where`: the type.
+        let mut trait_name = None;
+        let mut type_name = String::new();
+        let mut k = i + 2;
+        while k < toks.len() && toks[k].text != "for" && toks[k].text != "{" {
+            if toks[k].kind == TokenKind::Ident
+                && (toks[k].text == "Send" || toks[k].text == "Sync")
+            {
+                trait_name = Some(toks[k].text.clone());
+            }
+            k += 1;
+        }
+        let Some(trait_name) = trait_name else {
+            continue; // some other unsafe trait; clippy covers the comment
+        };
+        if k < toks.len() && toks[k].text == "for" {
+            k += 1;
+            while k < toks.len() && toks[k].text != "{" && toks[k].text != "where" {
+                if toks[k].kind == TokenKind::Ident {
+                    if !type_name.is_empty() {
+                        break; // first path segment is enough to identify
+                    }
+                    type_name = toks[k].text.clone();
+                }
+                k += 1;
+            }
+        }
+
+        // A SAFETY comment must sit directly above (allowing other
+        // comment lines and attributes between it and the impl).
+        let impl_line = toks[i].line;
+        let has_safety = ctx.lexed.comments.iter().any(|c| {
+            c.line < impl_line
+                && impl_line - c.line <= 6
+                && c.text.trim_start().starts_with("SAFETY:")
+        });
+        if !has_safety {
+            ctx.emit(
+                report,
+                Rule::UnsafeLedger,
+                impl_line,
+                format!(
+                    "`unsafe impl {trait_name} for {type_name}` without a `// SAFETY:` \
+                     comment directly above it"
+                ),
+            );
+        }
+        ledger.push(LedgerEntry {
+            file: ctx.path.to_string(),
+            kind: if trait_name == "Send" {
+                "impl-send"
+            } else {
+                "impl-sync"
+            },
+            subject: type_name,
+            excerpt: String::new(),
+        });
+    }
+}
+
+/// Renders the collected entries as the `UNSAFE_LEDGER.md` content.
+/// Deterministic: entries are grouped by file (files sorted), kept in
+/// source order within a file, and line-number free.
+pub fn render(entries: &[LedgerEntry]) -> String {
+    let mut files: Vec<&str> = entries.iter().map(|e| e.file.as_str()).collect();
+    files.sort_unstable();
+    files.dedup();
+
+    let mut out = String::new();
+    out.push_str(
+        "# UNSAFE_LEDGER — unsafe-contract registry\n\
+         \n\
+         Generated by `cargo run -p cilkm-lint -- --workspace --regen-ledger`;\n\
+         do **not** edit by hand. CI diffs this file against the tree (rule\n\
+         `unsafe-ledger`, DESIGN.md §12): every `unsafe impl Send`/`Sync` and\n\
+         every `// SAFETY:` rationale in the workspace appears here, so adding,\n\
+         removing, or rewording an unsafe contract is always visible in review\n\
+         as a ledger diff. Entries are in source order and carry no line\n\
+         numbers, so unrelated edits do not churn the ledger.\n",
+    );
+    let impls = entries
+        .iter()
+        .filter(|e| e.kind != "safety-comment")
+        .count();
+    let comments = entries.len() - impls;
+    out.push_str(&format!(
+        "\nInventory: {impls} `unsafe impl Send/Sync` sites, {comments} `SAFETY:` rationales.\n"
+    ));
+    for file in files {
+        out.push_str(&format!("\n## `{file}`\n\n"));
+        for e in entries.iter().filter(|e| e.file == file) {
+            match e.kind {
+                "safety-comment" => {
+                    out.push_str(&format!("- SAFETY: {}\n", e.excerpt));
+                }
+                kind => {
+                    out.push_str(&format!("- {kind} `{}`\n", e.subject));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compares the rendered ledger against the checked-in one.
+pub fn diff_against_checked_in(rendered: &str, checked_in: Option<&str>, report: &mut Report) {
+    match checked_in {
+        None => report.findings.push(crate::report::Finding {
+            rule: Rule::UnsafeLedger,
+            file: "UNSAFE_LEDGER.md".to_string(),
+            line: 1,
+            message: "UNSAFE_LEDGER.md is missing; generate it with \
+                      `cargo run -p cilkm-lint -- --workspace --regen-ledger`"
+                .to_string(),
+            waived: None,
+        }),
+        Some(existing) if existing != rendered => {
+            // Find the first differing line for a pointed message.
+            let line = existing
+                .lines()
+                .zip(rendered.lines())
+                .position(|(a, b)| a != b)
+                .map(|i| i + 1)
+                .unwrap_or_else(|| existing.lines().count().min(rendered.lines().count()) + 1);
+            report.findings.push(crate::report::Finding {
+                rule: Rule::UnsafeLedger,
+                file: "UNSAFE_LEDGER.md".to_string(),
+                line: line as u32,
+                message: format!(
+                    "UNSAFE_LEDGER.md is stale (first divergence at line {line}); the set of \
+                     unsafe contracts changed — review the diff and regenerate with \
+                     `cargo run -p cilkm-lint -- --workspace --regen-ledger`"
+                ),
+                waived: None,
+            });
+        }
+        Some(_) => {}
+    }
+}
+
+/// First ~12 words of the rationale, whitespace-normalized.
+fn excerpt(rationale: &str) -> String {
+    let words: Vec<&str> = rationale.split_whitespace().collect();
+    let mut s = words.iter().take(12).copied().collect::<Vec<_>>().join(" ");
+    if words.len() > 12 {
+        s.push('…');
+    }
+    s
+}

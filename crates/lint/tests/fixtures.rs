@@ -1,0 +1,226 @@
+//! Fixture tests: each rule family has a passing and a failing fixture
+//! under `fixtures/` (a directory the workspace walker deliberately
+//! skips, so the deliberate violations never fail a real run), plus
+//! report-level guarantees — stable sort and a byte-identical JSON
+//! round trip.
+
+use std::path::PathBuf;
+
+use cilkm_lint::manifest::Crate;
+use cilkm_lint::report::{Report, Rule};
+use cilkm_lint::rules::unsafe_ledger::{self, LedgerEntry};
+use cilkm_lint::scan_file;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Scans one fixture as if it were `crates/fixture/src/<name>` in a
+/// crate declaring `features`.
+fn scan(name: &str, features: &[&str]) -> (Report, Vec<LedgerEntry>) {
+    let krate = Crate {
+        dir: PathBuf::from("crates/fixture"),
+        features: features.iter().map(|s| s.to_string()).collect(),
+        files: Vec::new(),
+    };
+    let mut report = Report::default();
+    let mut ledger = Vec::new();
+    scan_file(
+        &format!("crates/fixture/src/{name}"),
+        &fixture(name),
+        &krate,
+        &mut report,
+        &mut ledger,
+    );
+    report.sort();
+    (report, ledger)
+}
+
+fn unwaived(report: &Report, rule: Rule) -> Vec<String> {
+    report
+        .unwaived()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.message.clone())
+        .collect()
+}
+
+#[test]
+fn facade_pass_fixture_is_clean() {
+    let (r, _) = scan("facade_pass.rs", &[]);
+    assert_eq!(unwaived(&r, Rule::RawSync), Vec::<String>::new());
+    // The waived import is still visible in the report for auditing.
+    assert_eq!(r.findings.iter().filter(|f| f.waived.is_some()).count(), 1);
+}
+
+#[test]
+fn facade_fail_fixture_fires_on_every_violation_flavor() {
+    let (r, _) = scan("facade_fail.rs", &[]);
+    let msgs = unwaived(&r, Rule::RawSync);
+    assert_eq!(msgs.len(), 6, "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("`std::sync::atomic`")));
+    assert!(msgs.iter().any(|m| m.contains("`std::sync::Mutex`")));
+    assert!(msgs.iter().any(|m| m.contains("`std::sync::Condvar`")));
+    assert!(msgs.iter().any(|m| m.contains("`parking_lot`")));
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`std::thread::park_timeout`")));
+    assert!(msgs.iter().any(|m| m.contains("`thread::park` resolves")));
+}
+
+#[test]
+fn facade_rule_skips_exempt_paths() {
+    let krate = Crate {
+        dir: PathBuf::from("crates/fixture"),
+        features: Vec::new(),
+        files: Vec::new(),
+    };
+    for path in [
+        "crates/fixture/src/msync.rs",
+        "crates/fixture/tests/integration.rs",
+        "crates/fixture/examples/demo.rs",
+        "crates/checker/src/sync.rs",
+    ] {
+        let mut report = Report::default();
+        let mut ledger = Vec::new();
+        scan_file(
+            path,
+            &fixture("facade_fail.rs"),
+            &krate,
+            &mut report,
+            &mut ledger,
+        );
+        assert_eq!(report.count(Rule::RawSync), 0, "{path} should be exempt");
+    }
+}
+
+#[test]
+fn hotpath_pass_fixture_is_clean() {
+    let (r, _) = scan("hotpath_pass.rs", &[]);
+    assert_eq!(unwaived(&r, Rule::HotPath), Vec::<String>::new());
+}
+
+#[test]
+fn hotpath_fail_fixture_fires_on_all_four_sins() {
+    let (r, _) = scan("hotpath_fail.rs", &[]);
+    let msgs = unwaived(&r, Rule::HotPath);
+    assert_eq!(msgs.len(), 4, "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("`format!`")));
+    assert!(msgs.iter().any(|m| m.contains("`Box::new`")));
+    assert!(msgs.iter().any(|m| m.contains("`.to_owned()`")));
+    assert!(msgs.iter().any(|m| m.contains("panicking `[]` indexing")));
+    // Every finding names the function the marker annotated.
+    assert!(msgs.iter().all(|m| m.contains("`lookup`")));
+}
+
+#[test]
+fn cfg_pass_fixture_is_clean_with_declared_features() {
+    let (r, _) = scan("cfg_pass.rs", &["model", "trace"]);
+    assert_eq!(unwaived(&r, Rule::CfgFeature), Vec::<String>::new());
+}
+
+#[test]
+fn cfg_fail_fixture_fires_with_typo_hint() {
+    let (r, _) = scan("cfg_fail.rs", &["trace"]);
+    let msgs = unwaived(&r, Rule::CfgFeature);
+    assert_eq!(msgs.len(), 2, "{msgs:#?}");
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`trce`") && m.contains("did you mean `trace`?")));
+    assert!(msgs.iter().any(|m| m.contains("`instrument`")));
+}
+
+#[test]
+fn unsafe_pass_fixture_is_clean_and_fills_the_ledger() {
+    let (r, ledger) = scan("unsafe_pass.rs", &[]);
+    assert_eq!(unwaived(&r, Rule::UnsafeLedger), Vec::<String>::new());
+    let kinds: Vec<&str> = ledger.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        ["safety-comment", "safety-comment", "impl-send", "impl-sync"]
+    );
+    assert!(ledger.iter().any(|e| e.subject == "Handle"));
+}
+
+#[test]
+fn unsafe_fail_fixture_fires_on_missing_and_empty_rationale() {
+    let (r, _) = scan("unsafe_fail.rs", &[]);
+    let msgs = unwaived(&r, Rule::UnsafeLedger);
+    assert_eq!(msgs.len(), 2, "{msgs:#?}");
+    assert!(msgs
+        .iter()
+        .any(|m| m.contains("`unsafe impl Send for Handle` without a `// SAFETY:`")));
+    assert!(msgs.iter().any(|m| m.contains("empty rationale")));
+}
+
+#[test]
+fn ledger_render_is_deterministic_and_diffable() {
+    let (_, ledger) = scan("unsafe_pass.rs", &[]);
+    let rendered = unsafe_ledger::render(&ledger);
+    assert_eq!(rendered, unsafe_ledger::render(&ledger));
+    assert!(rendered.contains("2 `unsafe impl Send/Sync` sites"));
+    assert!(rendered.contains("2 `SAFETY:` rationales"));
+
+    // In-sync ledger: no finding. Stale ledger: pointed finding.
+    let mut report = Report::default();
+    unsafe_ledger::diff_against_checked_in(&rendered, Some(&rendered), &mut report);
+    assert!(report.findings.is_empty());
+    let stale = rendered.replace("impl-send", "impl-was-send");
+    unsafe_ledger::diff_against_checked_in(&rendered, Some(&stale), &mut report);
+    assert_eq!(report.count(Rule::UnsafeLedger), 1);
+    assert!(report.findings[0].message.contains("stale"));
+}
+
+#[test]
+fn fixture_report_round_trips_through_json() {
+    // Accumulate findings from several fixtures (including a waived one)
+    // into one report, as a workspace run would.
+    let mut all = Report::default();
+    for (name, features) in [
+        ("facade_pass.rs", &["trace"][..]),
+        ("facade_fail.rs", &[][..]),
+        ("cfg_fail.rs", &["trace"][..]),
+        ("hotpath_fail.rs", &[][..]),
+    ] {
+        let (r, _) = scan(name, features);
+        all.findings.extend(r.findings);
+    }
+    all.sort();
+    assert!(all.findings.iter().any(|f| f.waived.is_some()));
+
+    let json = all.to_json();
+    let back = Report::from_json(&json).unwrap();
+    assert_eq!(back, all);
+    assert_eq!(
+        back.to_json(),
+        json,
+        "re-serialization must be byte-identical"
+    );
+}
+
+#[test]
+fn report_sort_is_stable_and_total() {
+    let mut a = Report::default();
+    let mut b = Report::default();
+    for name in ["facade_fail.rs", "hotpath_fail.rs", "unsafe_fail.rs"] {
+        let (r, _) = scan(name, &[]);
+        a.findings.extend(r.findings.clone());
+        // Insert in reverse order into `b`.
+        for f in r.findings.into_iter().rev() {
+            b.findings.insert(0, f);
+        }
+    }
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "sort must not depend on insertion order");
+    let keys: Vec<_> = a
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule, f.message.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}

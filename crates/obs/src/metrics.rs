@@ -20,6 +20,8 @@
 //! ordering obligations (all `Relaxed`), and routing them through the
 //! checker would explode model state spaces for no verification value.
 
+// lint: allow-file(raw-sync, counters and histograms are Relaxed-only monitoring data with no ordering obligations, and the registry is process-global; recorded msync primitives are scoped to one model run and would explode checker state for zero verification value — see the module docs above)
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, Weak};

@@ -17,6 +17,8 @@
 //! workers keep emitting (verified under the model checker), so callers
 //! such as `Pool::run` can collect a trace without quiescing the pool.
 
+// lint: allow-file(raw-sync, the tracer's enabled flag and ring registry are process-global control plane shared with non-pool threads; the recorded msync primitives are scoped to a model run and cannot back process-wide statics — ring hand-off itself is verified separately in crates/checker's drain model)
+
 use crate::event::{Event, EventKind};
 
 #[cfg(feature = "trace")]
@@ -52,6 +54,21 @@ mod imp {
         static WRITER: RefCell<Option<TraceWriter>> = const { RefCell::new(None) };
     }
 
+    /// One-time per-thread ring setup: names and allocates the ring and
+    /// registers its shared handle. Outlined from [`emit`] so the warm
+    /// path stays allocation- and formatting-free (the lint checks it).
+    #[cold]
+    fn new_writer() -> TraceWriter {
+        let label = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("thread-{:?}", std::thread::current().id()));
+        let (writer, ring) = TraceRing::new(capacity(), label);
+        registry().lock().unwrap().push(ring);
+        writer
+    }
+
+    // lint: hot-path
     pub(super) fn emit(kind: EventKind, arg: u64) {
         if !ENABLED.load(Ordering::Relaxed) {
             return;
@@ -68,15 +85,7 @@ mod imp {
             let Ok(mut slot) = cell.try_borrow_mut() else {
                 return;
             };
-            let writer = slot.get_or_insert_with(|| {
-                let label = std::thread::current()
-                    .name()
-                    .map(str::to_owned)
-                    .unwrap_or_else(|| format!("thread-{:?}", std::thread::current().id()));
-                let (writer, ring) = TraceRing::new(capacity(), label);
-                registry().lock().unwrap().push(ring);
-                writer
-            });
+            let writer = slot.get_or_insert_with(new_writer);
             writer.push(ev);
         });
     }
@@ -143,6 +152,7 @@ pub fn enabled() -> bool {
 
 /// Records one event on the calling thread's ring. The meaning of `arg`
 /// depends on `kind` (see [`EventKind`]).
+// lint: hot-path
 #[inline]
 pub fn emit(kind: EventKind, arg: u64) {
     #[cfg(feature = "trace")]

@@ -103,8 +103,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::msync::atomic::{AtomicU64, AtomicUsize, Ordering};
     use crate::registry::Pool;
-    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn covers_every_index_exactly_once() {
@@ -184,8 +184,8 @@ mod tests {
     #[test]
     fn off_pool_call_runs_serially_in_grain_chunks() {
         // No pool: every piece still arrives, serially, at most grain long.
-        let seen = std::sync::Mutex::new(Vec::new());
-        parallel_for(0..25, 10, &|r| seen.lock().unwrap().push(r));
-        assert_eq!(seen.into_inner().unwrap(), vec![0..10, 10..20, 20..25]);
+        let seen = crate::msync::Mutex::new(Vec::new());
+        parallel_for(0..25, 10, &|r| seen.lock().push(r));
+        assert_eq!(seen.into_inner(), vec![0..10, 10..20, 20..25]);
     }
 }

@@ -10,6 +10,7 @@
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
+// lint: allow(raw-sync, WorkerStats counters are Relaxed-only monitoring data; routing them through msync would add a recorded model op to every steal/park and explode checker state for zero verification value — same policy as cilkm-obs::metrics)
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 

@@ -26,12 +26,11 @@
 //!
 //! [`join`]: crate::join
 
+use crate::msync::atomic::{AtomicUsize, Ordering};
+use crate::msync::Mutex;
 use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
 
 use crate::hooks::DetachedViews;
 use crate::job::{JobHeader, JobRef};
@@ -189,8 +188,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::msync::atomic::AtomicU64;
     use crate::registry::Pool;
-    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn scope_runs_all_spawns() {

@@ -11,39 +11,23 @@
 //!
 //! Accounting is **per domain**: every [`crate::PageArena`] (one per
 //! reducer domain) owns a [`CrossingCounters`], so concurrent domains and
-//! benchmark phases no longer bleed into each other's numbers. Each
-//! charge also feeds the per-thread event tracer (`cilkm-obs`) and — as a
-//! **deprecated** process-wide shim — the legacy global statics below, so
-//! existing consumers of [`snapshot`] keep working unchanged.
+//! benchmark phases cannot bleed into each other's numbers. Each charge
+//! also feeds the per-thread event tracer (`cilkm-obs`). (The original
+//! process-global counters lived here as a deprecated shim for one
+//! release; every consumer now reads
+//! [`CrossingCounters::snapshot`] through [`crate::PageArena::crossings`].)
 
+// lint: allow(raw-sync, crossing counters are Relaxed-only monitoring data in the unmodeled kernel-side crate; the cost model and counter reads have no ordering obligations — same policy as cilkm-obs::metrics)
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use cilkm_obs::metrics::Counter;
 use cilkm_obs::{trace, EventKind};
 
-/// Number of simulated `sys_palloc` calls since process start.
-///
-/// **Deprecated shim**: process-global, so concurrent domains mix their
-/// counts. Prefer [`CrossingCounters`] via [`crate::PageArena::crossings`].
-pub static PALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-/// Number of simulated `sys_pfree` calls since process start.
-///
-/// **Deprecated shim**: see [`PALLOC_CALLS`].
-pub static PFREE_CALLS: AtomicU64 = AtomicU64::new(0);
-/// Number of simulated `sys_pmap` calls since process start.
-///
-/// **Deprecated shim**: see [`PALLOC_CALLS`].
-pub static PMAP_CALLS: AtomicU64 = AtomicU64::new(0);
-/// Number of individual page mappings installed or removed by `pmap`.
-///
-/// **Deprecated shim**: see [`PALLOC_CALLS`].
-pub static PMAP_PAGES: AtomicU64 = AtomicU64::new(0);
-
 /// Simulated cost of one kernel crossing, in nanoseconds (0 = free).
 static CROSSING_COST_NS: AtomicU64 = AtomicU64::new(0);
 
-/// A snapshot of the global kernel-crossing counters.
+/// A snapshot of one domain's kernel-crossing counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CrossingSnapshot {
     /// `sys_palloc` calls.
@@ -79,9 +63,8 @@ impl CrossingSnapshot {
 /// One instance lives on each [`crate::PageArena`] (reducer domains each
 /// own an arena), so crossing counts can be attributed to the domain that
 /// caused them. The `charge_*` methods are the only charge sites in the
-/// crate: besides bumping these counters they emit a tracer event, pay
-/// the [`crossing_cost_ns`] model, and update the deprecated process
-/// globals so [`snapshot`]-based consumers keep working.
+/// crate: besides bumping these counters they emit a tracer event and pay
+/// the [`crossing_cost_ns`] model.
 #[derive(Debug, Default)]
 pub struct CrossingCounters {
     palloc_calls: Counter,
@@ -116,7 +99,7 @@ impl CrossingCounters {
     pub fn charge_palloc(&self) {
         self.palloc_calls.inc();
         trace::emit(EventKind::Palloc, 0);
-        charge(&PALLOC_CALLS);
+        pay_crossing_cost();
     }
 
     /// Charges one simulated `sys_pfree` crossing.
@@ -124,7 +107,7 @@ impl CrossingCounters {
     pub fn charge_pfree(&self) {
         self.pfree_calls.inc();
         trace::emit(EventKind::Pfree, 0);
-        charge(&PFREE_CALLS);
+        pay_crossing_cost();
     }
 
     /// Charges one simulated `sys_pmap` crossing touching `pages` page
@@ -135,24 +118,7 @@ impl CrossingCounters {
         self.pmap_calls.inc();
         self.pmap_pages.add(pages);
         trace::emit(EventKind::Pmap, pages);
-        PMAP_PAGES.fetch_add(pages, Ordering::Relaxed);
-        charge(&PMAP_CALLS);
-    }
-}
-
-/// Reads the process-global counters.
-///
-/// **Deprecated shim**: sums every domain in the process since process
-/// start, so it cannot isolate one domain or one phase when domains run
-/// concurrently. Kept for the ablation benches and existing tests;
-/// prefer [`CrossingCounters::snapshot`] via
-/// [`crate::PageArena::crossings`].
-pub fn snapshot() -> CrossingSnapshot {
-    CrossingSnapshot {
-        palloc_calls: PALLOC_CALLS.load(Ordering::Relaxed),
-        pfree_calls: PFREE_CALLS.load(Ordering::Relaxed),
-        pmap_calls: PMAP_CALLS.load(Ordering::Relaxed),
-        pmap_pages: PMAP_PAGES.load(Ordering::Relaxed),
+        pay_crossing_cost();
     }
 }
 
@@ -172,10 +138,9 @@ pub fn crossing_cost_ns() -> u64 {
     CROSSING_COST_NS.load(Ordering::Relaxed)
 }
 
-/// Charges one kernel crossing: bump `counter` and pay the cost model.
+/// Pays the cost model for one kernel crossing (a no-op at cost 0).
 #[inline]
-pub(crate) fn charge(counter: &AtomicU64) {
-    counter.fetch_add(1, Ordering::Relaxed);
+fn pay_crossing_cost() {
     let cost = CROSSING_COST_NS.load(Ordering::Relaxed);
     if cost != 0 {
         spin_for_ns(cost);
@@ -240,29 +205,17 @@ mod tests {
     }
 
     #[test]
-    fn per_domain_charges_still_feed_the_global_shim() {
-        let before = snapshot();
-        let arena = crate::PageArena::new();
-        let pd = arena.palloc();
-        arena.pfree(pd);
-        let d = snapshot().since(&before);
-        // Other tests run concurrently against the process-global shim,
-        // so only lower-bound assertions are sound here — which is
-        // exactly the imprecision that motivated per-domain counters.
-        assert!(d.palloc_calls >= 1);
-        assert!(d.pfree_calls >= 1);
-    }
-
-    #[test]
     fn charge_increments_and_respects_cost_model() {
-        let before = PMAP_CALLS.load(Ordering::Relaxed);
-        charge(&PMAP_CALLS);
-        assert_eq!(PMAP_CALLS.load(Ordering::Relaxed), before + 1);
+        let counters = CrossingCounters::new();
+        counters.charge_pmap(3);
+        let s = counters.snapshot();
+        assert_eq!(s.pmap_calls, 1);
+        assert_eq!(s.pmap_pages, 3);
 
         // With a visible cost the charge should take at least that long.
         set_crossing_cost_ns(200_000);
         let t = Instant::now();
-        charge(&PMAP_CALLS);
+        counters.charge_pmap(1);
         assert!(t.elapsed().as_nanos() >= 200_000);
         set_crossing_cost_ns(0);
     }
