@@ -5,14 +5,12 @@
 
 use std::sync::Arc;
 
-use crate::msync::atomic::{AtomicBool, Ordering};
-use crate::msync::Mutex;
-
 use cilkm_runtime::{HyperHooks, Pool, PoolBuilder, PoolStats};
 use cilkm_spa::SpaMapBox;
 use cilkm_tlmm::PageArena;
 
 use crate::instrument::{Instrument, InstrumentSnapshot, ReduceHistograms};
+use crate::lockfree::{MapPool, SerialBorrow, SlotRegistry};
 use crate::monoid::MonoidInstance;
 
 /// Which reducer mechanism a pool runs.
@@ -31,57 +29,44 @@ pub enum Backend {
 /// its hash key, standing in for the reducer's address.
 pub(crate) type Slot = u32;
 
-struct SlotAlloc {
-    free: Vec<Slot>,
-    next: Slot,
-}
-
 /// One reducer's leftmost storage: the view that holds the initial value
 /// and, after a region completes, the final value.
 #[derive(Copy, Clone)]
 pub(crate) struct LeftmostEntry {
     pub view: *mut u8,
     pub monoid: *const u8,
-    /// The reducer's serial-access flag (lives in the `ReducerInner`,
-    /// which strictly outlives this entry): region-end folds acquire it
-    /// so racing a serial-path access panics instead of racing.
-    pub flag: *const AtomicBool,
 }
 
 /// Shared state of a reducer domain. Usually reached through
 /// [`ReducerPool`]; exposed so benches can instrument it directly.
+///
+/// Since the lock-free view-lifecycle rework (DESIGN.md §13) nothing
+/// here is mutex-guarded: the slot allocator, leftmost registry, and
+/// pending-merge lists live in the [`SlotRegistry`]'s per-slot atomic
+/// cells, and the public SPA-map pool is a Treiber free-list with
+/// hazard-era reclamation. A returning thief or region-end collect
+/// pushes detached views and moves on; folds happen off the steal
+/// critical path (owner's next serial touch, or the idle-worker drain
+/// hook).
 pub struct DomainInner {
     pub(crate) backend: Backend,
     pub(crate) instrument: Instrument,
-    slots: Mutex<SlotAlloc>,
-    leftmost: Mutex<Vec<Option<LeftmostEntry>>>,
+    registry: SlotRegistry,
     /// Simulated physical pages backing every worker's TLMM region.
     pub(crate) arena: Arc<PageArena>,
-    /// Global pool of empty public SPA maps (rebalanced with the workers'
-    /// local pools in the manner of Hoard, §7 footnote 7).
-    public_pool: Mutex<Vec<SpaMapBox>>,
+    /// Lock-free pool of empty public SPA maps (rebalanced with the
+    /// workers' local pools in the manner of Hoard, §7 footnote 7).
+    public_pool: MapPool,
 }
-
-// SAFETY: the only non-auto-Send field is the public SPA-map pool, whose
-// raw page pointers are plain heap memory owned by the pooled boxes and
-// untouched while they sit in the (mutex-guarded) pool.
-unsafe impl Send for DomainInner {}
-// SAFETY: every field is either atomic or behind a `Mutex`; the raw
-// pointers in the pool are only reachable through those locks.
-unsafe impl Sync for DomainInner {}
 
 impl DomainInner {
     pub(crate) fn new(backend: Backend) -> DomainInner {
         DomainInner {
             backend,
             instrument: Instrument::new(),
-            slots: Mutex::new(SlotAlloc {
-                free: Vec::new(),
-                next: 0,
-            }),
-            leftmost: Mutex::new(Vec::new()),
+            registry: SlotRegistry::new(),
             arena: Arc::new(PageArena::new()),
-            public_pool: Mutex::new(Vec::new()),
+            public_pool: MapPool::new(),
         }
     }
 
@@ -101,80 +86,131 @@ impl DomainInner {
     }
 
     pub(crate) fn alloc_slot(&self) -> Slot {
-        let mut a = self.slots.lock();
-        if let Some(s) = a.free.pop() {
-            s
-        } else {
-            let s = a.next;
-            a.next = a.next.checked_add(1).expect("slot space exhausted");
-            s
-        }
+        self.registry.alloc()
     }
 
     pub(crate) fn free_slot(&self, slot: Slot) {
-        self.slots.lock().free.push(slot);
+        self.registry.free(slot);
     }
 
-    pub(crate) fn register_leftmost(
-        &self,
-        slot: Slot,
-        view: *mut u8,
-        monoid: *const u8,
-        flag: *const AtomicBool,
-    ) {
-        let mut reg = self.leftmost.lock();
-        let idx = slot as usize;
-        if reg.len() <= idx {
-            reg.resize(idx + 1, None);
-        }
-        debug_assert!(reg[idx].is_none(), "slot {slot} already registered");
-        reg[idx] = Some(LeftmostEntry { view, monoid, flag });
+    pub(crate) fn register_leftmost(&self, slot: Slot, view: *mut u8, monoid: *const u8) {
+        self.registry.register(slot, view, monoid);
     }
 
-    pub(crate) fn unregister_leftmost(&self, slot: Slot) -> Option<LeftmostEntry> {
-        self.leftmost.lock()[slot as usize].take()
+    pub(crate) fn unregister_leftmost(&self, slot: Slot) -> Option<*mut u8> {
+        self.registry.unregister(slot)
     }
 
     pub(crate) fn leftmost_entry(&self, slot: Slot) -> Option<LeftmostEntry> {
-        self.leftmost.lock().get(slot as usize).copied().flatten()
+        self.registry
+            .entry(slot)
+            .map(|(view, monoid)| LeftmostEntry { view, monoid })
     }
 
     /// Replaces the leftmost view pointer of `slot`, returning the old one.
     pub(crate) fn swap_leftmost_view(&self, slot: Slot, new_view: *mut u8) -> *mut u8 {
-        let mut reg = self.leftmost.lock();
-        let entry = reg[slot as usize].as_mut().expect("slot not registered");
-        std::mem::replace(&mut entry.view, new_view)
+        self.registry.swap_view(slot, new_view)
     }
 
-    /// Folds a detached `view` into the leftmost storage of `slot`, with
-    /// the leftmost as the serially-earlier (left) operand. Consumes
-    /// `view`.
+    /// Takes the reducer's serial word for a user serial-path access
+    /// (spins out an idle drainer, panics on overlapping users).
+    pub(crate) fn serial_user(&self, slot: Slot) -> SerialBorrow<'_> {
+        SerialBorrow::acquire_user(self.registry.cell(slot))
+    }
+
+    /// Hands a detached `view` to `slot`'s pending-merge list — the
+    /// steal-return/merge half of the lock-free handoff. No lock, no
+    /// fold: the caller continues immediately, and the fold into
+    /// leftmost storage happens on the owner's next serial touch or in
+    /// [`DomainInner::idle_drain`].
     ///
     /// # Safety
     ///
     /// `view` must be a live boxed view of the slot's monoid type, and
-    /// the caller must be at a serial point for this reducer (no other
-    /// thread folding or reading the same slot concurrently).
-    pub(crate) unsafe fn fold_into_leftmost(&self, slot: Slot, view: *mut u8) {
-        // Copy the entry out, then reduce outside the lock: the monoid's
-        // reduce is user code and may itself touch (other) reducers.
-        let entry = self
-            .leftmost_entry(slot)
-            .unwrap_or_else(|| panic!("views outlive reducer for slot {slot}"));
-        // Exclude concurrent serial-path accesses (panics on a genuine
-        // race, which is a program error per the Cilk rules).
-        let _borrow = SerialBorrow::acquire(&*entry.flag);
-        let inst = MonoidInstance::from_erased(entry.monoid);
-        inst.reduce_into(entry.view, view);
+    /// the slot must still be registered (views must not outlive their
+    /// reducer).
+    pub(crate) unsafe fn push_pending(&self, slot: Slot, view: *mut u8) {
+        self.instrument.pending_views.inc();
+        // SAFETY: forwarded caller contract.
+        unsafe { self.registry.push_pending(slot, view) };
     }
 
-    /// As [`DomainInner::fold_into_leftmost`], for callers that already
-    /// hold the reducer's serial borrow (the `Reducer` serial-point ops).
+    /// Region-exit handoff of a slot's final view: fold it (and any
+    /// parked predecessors) into the leftmost right now if the slot's
+    /// serial word is free — the overwhelmingly common case at a region
+    /// boundary, costing one CAS and no allocation — otherwise park it
+    /// on the pending-merge list for the owner's next serial touch or
+    /// an idle drain. Never blocks.
     ///
     /// # Safety
     ///
-    /// Same as `fold_into_leftmost`, plus: the caller must hold the
-    /// reducer's serial-access borrow.
+    /// As [`DomainInner::push_pending`].
+    pub(crate) unsafe fn fold_or_park(&self, slot: Slot, view: *mut u8) {
+        // SAFETY: forwarded caller contract.
+        if unsafe { self.registry.try_fold_root(slot, view) } {
+            return;
+        }
+        // SAFETY: forwarded caller contract.
+        unsafe { self.push_pending(slot, view) };
+    }
+
+    /// Folds `slot`'s pending views into its leftmost view, in serial
+    /// order. Called by every serial-point reducer operation right
+    /// after taking the serial word.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold `slot`'s serial word and the slot must be
+    /// registered.
+    pub(crate) unsafe fn drain_pending_slot(&self, slot: Slot) {
+        let cell = self.registry.cell(slot);
+        let t0 = std::time::Instant::now();
+        // SAFETY: forwarded caller contract.
+        let n = unsafe { self.registry.drain_cell(cell) };
+        if n != 0 {
+            self.instrument
+                .drain_ns
+                .record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// One idle-worker drain sweep (the `HyperHooks::drain_pending`
+    /// hook): folds whatever pending views it can claim without ever
+    /// blocking, moving hypermerge work off the steal/join critical
+    /// path. Returns the number of views folded.
+    pub fn idle_drain(&self) -> usize {
+        // The caller is idle: reclaim the map pool's retired node
+        // shells too, so `MapPool::pop` (inside the latency-sensitive
+        // transferal window) almost never has to sweep.
+        self.public_pool.collect();
+        if self.registry.pending_total() == 0 {
+            return 0;
+        }
+        let t0 = std::time::Instant::now();
+        let n = self.registry.drain_idle();
+        if n != 0 {
+            self.instrument
+                .drain_ns
+                .record(t0.elapsed().as_nanos() as u64);
+        }
+        n
+    }
+
+    /// Views currently parked on pending-merge lists — the
+    /// `pending_depth` metric.
+    pub fn pending_depth(&self) -> usize {
+        self.registry.pending_total()
+    }
+
+    /// As [`DomainInner::push_pending`] but folds immediately; only for
+    /// callers that already hold the reducer's serial borrow (the
+    /// `Reducer` serial-point ops folding their own context view).
+    ///
+    /// # Safety
+    ///
+    /// `view` must be a live boxed view of the slot's monoid type, the
+    /// slot must be registered, and the caller must hold the reducer's
+    /// serial-access borrow.
     pub(crate) unsafe fn fold_into_leftmost_unguarded(&self, slot: Slot, view: *mut u8) {
         let entry = self
             .leftmost_entry(slot)
@@ -183,23 +219,24 @@ impl DomainInner {
         inst.reduce_into(entry.view, view);
     }
 
-    /// Takes an empty public SPA map from the global pool (or a fresh one).
+    /// Takes an empty public SPA map from the global pool (or a fresh
+    /// one — allocated with no lock held, unlike the old mutex pool,
+    /// which constructed fresh maps *inside* its critical section).
     pub(crate) fn take_public_map(&self) -> SpaMapBox {
-        self.public_pool.lock().pop().unwrap_or_default()
+        self.public_pool.pop().unwrap_or_default()
     }
 
     /// Returns empty public SPA maps to the global pool.
     pub(crate) fn recycle_public_maps(&self, maps: impl IntoIterator<Item = SpaMapBox>) {
-        let mut pool = self.public_pool.lock();
         for m in maps {
             debug_assert!(m.as_ref().is_empty(), "recycling a non-empty public map");
-            pool.push(m);
+            self.public_pool.push(m);
         }
     }
 
     /// Number of live reducers (registered leftmost entries) — test aid.
     pub fn live_reducers(&self) -> usize {
-        self.leftmost.lock().iter().filter(|e| e.is_some()).count()
+        self.registry.live()
     }
 
     /// The simulated physical-page arena backing the workers' TLMM
@@ -220,37 +257,18 @@ impl cilkm_obs::MetricsSource for DomainInner {
         out.counter("merges", i.merges.get());
         out.counter("merge_pairs", i.merge_pairs.get());
         out.counter("log_overflows", i.log_overflows.get());
+        out.counter("pending_views", i.pending_views.get());
+        out.counter("pending_depth", self.registry.pending_total() as u64);
         out.histogram("view_creation_ns", i.view_creation_ns.snapshot());
         out.histogram("view_insertion_ns", i.view_insertion_ns.snapshot());
         out.histogram("transferal_ns", i.transferal_ns.snapshot());
         out.histogram("merge_ns", i.merge_ns.snapshot());
+        out.histogram("drain_ns", i.drain_ns.snapshot());
         let c = self.arena.crossings().snapshot();
         out.counter("palloc_calls", c.palloc_calls);
         out.counter("pfree_calls", c.pfree_calls);
         out.counter("pmap_calls", c.pmap_calls);
         out.counter("pmap_pages", c.pmap_pages);
-    }
-}
-
-/// A guard for serial (outside-region or serial-point) accesses to one
-/// reducer: panics on concurrent serial access rather than racing.
-pub(crate) struct SerialBorrow<'a> {
-    flag: &'a AtomicBool,
-}
-
-impl<'a> SerialBorrow<'a> {
-    pub fn acquire(flag: &'a AtomicBool) -> SerialBorrow<'a> {
-        assert!(
-            !flag.swap(true, Ordering::Acquire),
-            "concurrent serial access to a reducer (serial accesses must not overlap)"
-        );
-        SerialBorrow { flag }
-    }
-}
-
-impl Drop for SerialBorrow<'_> {
-    fn drop(&mut self) {
-        self.flag.store(false, Ordering::Release);
     }
 }
 
@@ -362,15 +380,14 @@ mod tests {
         let d = DomainInner::new(Backend::Hypermap);
         let s = d.alloc_slot();
         let view = Box::into_raw(Box::new(5u64)) as *mut u8;
-        let flag = AtomicBool::new(false);
-        d.register_leftmost(s, view, std::ptr::null(), &flag);
+        d.register_leftmost(s, view, std::ptr::null());
         assert_eq!(d.live_reducers(), 1);
         let e = d.leftmost_entry(s).unwrap();
         assert_eq!(e.view, view);
-        let e = d.unregister_leftmost(s).unwrap();
+        let v = d.unregister_leftmost(s).unwrap();
         // SAFETY: the view was `Box::into_raw`ed above and unregistering
         // returned the sole remaining pointer to it.
-        unsafe { drop(Box::from_raw(e.view as *mut u64)) };
+        unsafe { drop(Box::from_raw(v as *mut u64)) };
         assert_eq!(d.live_reducers(), 0);
         assert!(d.leftmost_entry(s).is_none());
     }
@@ -384,21 +401,51 @@ mod tests {
     }
 
     #[test]
-    fn serial_borrow_excludes() {
-        let flag = AtomicBool::new(false);
-        let b = SerialBorrow::acquire(&flag);
-        assert!(flag.load(Ordering::Relaxed));
+    fn serial_word_excludes_users_and_drainers() {
+        let d = DomainInner::new(Backend::Mmap);
+        let s = d.alloc_slot();
+        let view = Box::into_raw(Box::new(0u64)) as *mut u8;
+        d.register_leftmost(s, view, std::ptr::null());
+        let b = d.serial_user(s);
         drop(b);
-        assert!(!flag.load(Ordering::Relaxed));
-        let _b2 = SerialBorrow::acquire(&flag);
+        let _b2 = d.serial_user(s);
+        drop(_b2);
+        let v = d.unregister_leftmost(s).unwrap();
+        // SAFETY: sole remaining pointer, as registered above.
+        unsafe { drop(Box::from_raw(v as *mut u64)) };
     }
 
     #[test]
     #[should_panic(expected = "concurrent serial access")]
     fn serial_borrow_panics_on_overlap() {
-        let flag = AtomicBool::new(false);
-        let _a = SerialBorrow::acquire(&flag);
-        let _b = SerialBorrow::acquire(&flag);
+        let d = DomainInner::new(Backend::Mmap);
+        let s = d.alloc_slot();
+        let _a = d.serial_user(s);
+        let _b = d.serial_user(s);
+    }
+
+    #[test]
+    fn pending_views_fold_on_idle_drain() {
+        let d = DomainInner::new(Backend::Mmap);
+        let monoid = std::sync::Arc::new(crate::library::SumMonoid::<u64>::new());
+        let inst = MonoidInstance::new(&monoid);
+        let s = d.alloc_slot();
+        let view = Box::into_raw(Box::new(1u64)) as *mut u8;
+        d.register_leftmost(s, view, inst.as_erased());
+        for add in [2u64, 3, 4] {
+            let v = Box::into_raw(Box::new(add)) as *mut u8;
+            // SAFETY: live boxed u64 views of the registered SumMonoid.
+            unsafe { d.push_pending(s, v) };
+        }
+        assert_eq!(d.pending_depth(), 3);
+        assert_eq!(d.idle_drain(), 3);
+        assert_eq!(d.pending_depth(), 0);
+        assert_eq!(d.idle_drain(), 0, "second drain finds nothing");
+        let v = d.unregister_leftmost(s).unwrap();
+        // SAFETY: sole remaining pointer after unregister.
+        let total = unsafe { *Box::from_raw(v as *mut u64) };
+        assert_eq!(total, 10, "1 + 2 + 3 + 4 folded into leftmost");
+        assert_eq!(d.instrument.pending_views.get(), 3);
     }
 
     #[test]

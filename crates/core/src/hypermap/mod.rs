@@ -220,7 +220,7 @@ impl HyperHooks for HypermapHooks {
             .expect("hypermap state");
         st.flush_lookups();
         st.forget_last();
-        let t0 = crate::instrument::thread_time_ns();
+        let t0 = Instrument::transferal_timer();
         // View transferal in the hypermap scheme: switch a few pointers —
         // the whole map is handed over, and the context gets a freshly
         // created empty map, as on a steal in Cilk Plus (§3, §7).
@@ -230,7 +230,7 @@ impl HyperHooks for HypermapHooks {
             self.ins().transferals.inc();
             self.ins().transferal_views.add(n);
         }
-        Instrument::add_ns(&self.ins().transferal_ns, t0);
+        self.ins().finish_transferal(t0);
         // `map` is already a heap allocation; hand it over as-is.
         map
     }
@@ -313,7 +313,14 @@ impl HyperHooks for HypermapHooks {
             (*st).forget_last();
             let drained = (*st).current.drain();
             for (_, slot, pair) in drained {
-                self.domain.fold_into_leftmost(slot, pair.view);
+                // Lock-free handoff (DESIGN.md §13): fold inline when
+                // the slot's serial word is free (the common case at a
+                // region boundary), else park the view on the slot's
+                // pending-merge list for an off-critical-path drain.
+                // SAFETY: `pair.view` is a live boxed view of this
+                // slot's monoid and the reducer is still registered
+                // (views must not outlive their reducer).
+                self.domain.fold_or_park(slot, pair.view);
             }
         }
     }
@@ -337,5 +344,9 @@ impl HyperHooks for HypermapHooks {
             // view exactly once.
             unsafe { MonoidInstance::from_erased(pair.monoid).drop_view(pair.view) };
         }
+    }
+
+    fn drain_pending(&self) {
+        self.domain.idle_drain();
     }
 }

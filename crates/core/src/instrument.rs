@@ -25,7 +25,9 @@
 //! view-transferal/collect time (and on the discard path after a panic),
 //! so it costs the same negligible constant under both backends.
 
-use cilkm_obs::metrics::{Counter, Histogram, HistogramSnapshot};
+use cilkm_obs::metrics::{
+    Counter, FineHistogram, FineHistogramSnapshot, Histogram, HistogramSnapshot,
+};
 
 /// Whether hot-path (per-lookup) counting is compiled in. The cold,
 /// steal-path counters above are always live — they are off the critical
@@ -57,6 +59,14 @@ pub struct Instrument {
     /// Per-transferal latency (detach and attach each contribute one
     /// sample); `.sum` is the Figure 8 transferal total.
     pub transferal_ns: Histogram,
+    /// Per-transferal **wall-clock** latency at sub-log2 resolution.
+    /// Deliberately a different clock from [`Instrument::transferal_ns`]:
+    /// the coarse histogram keeps thread CPU time (its sum must stay the
+    /// Figure 8 total, and CPU time is robust to preemption), but CPU
+    /// time cannot see the time a transferal spends *waiting* — which is
+    /// exactly where the contended tail lives — so the tail-analysis
+    /// histogram records elapsed wall time instead.
+    pub transferal_fine_ns: FineHistogram,
     /// Hypermerge operations.
     pub merges: Counter,
     /// View pairs reduced by hypermerges.
@@ -66,6 +76,13 @@ pub struct Instrument {
     pub merge_ns: Histogram,
     /// SPA-map log overflows observed (memory-mapped backend only).
     pub log_overflows: Counter,
+    /// Detached views handed to per-slot pending-merge lists (the
+    /// lock-free steal-return handoff, DESIGN.md §13).
+    pub pending_views: Counter,
+    /// Per-batch latency of pending-merge drains (owner-touch or
+    /// idle-worker), wall clock: this is merge work that used to sit on
+    /// the steal/join critical path and now runs off it.
+    pub drain_ns: Histogram,
 }
 
 impl Instrument {
@@ -99,6 +116,7 @@ impl Instrument {
             view_creation: self.view_creation_ns.snapshot(),
             view_insertion: self.view_insertion_ns.snapshot(),
             transferal: self.transferal_ns.snapshot(),
+            transferal_fine: self.transferal_fine_ns.snapshot(),
             hypermerge: self.merge_ns.snapshot(),
         }
     }
@@ -107,6 +125,24 @@ impl Instrument {
     /// `start_ns` (a [`thread_time_ns`] reading).
     pub(crate) fn add_ns(hist: &Histogram, start_ns: u64) {
         hist.record(thread_time_ns().saturating_sub(start_ns));
+    }
+
+    /// Starts a transferal timing window (both clocks).
+    pub(crate) fn transferal_timer() -> TransferalTimer {
+        TransferalTimer {
+            cpu0: thread_time_ns(),
+            wall0: std::time::Instant::now(),
+        }
+    }
+
+    /// Ends a transferal window: one CPU-time sample into the coarse
+    /// Figure-8 histogram, one wall-clock sample into the fine
+    /// tail-analysis histogram.
+    pub(crate) fn finish_transferal(&self, t: TransferalTimer) {
+        self.transferal_ns
+            .record(thread_time_ns().saturating_sub(t.cpu0));
+        self.transferal_fine_ns
+            .record(t.wall0.elapsed().as_nanos() as u64);
     }
 
     /// Timer for the *short* per-view windows (creation, insertion):
@@ -119,6 +155,14 @@ impl Instrument {
         const CAP_NS: u64 = 10_000;
         hist.record((since.elapsed().as_nanos() as u64).min(CAP_NS));
     }
+}
+
+/// In-flight transferal timing window: captures both clocks at the
+/// start so [`Instrument::finish_transferal`] can feed the coarse
+/// (CPU-time) and fine (wall-clock) histograms from one window.
+pub(crate) struct TransferalTimer {
+    cpu0: u64,
+    wall0: std::time::Instant,
 }
 
 /// Per-thread CPU time in nanoseconds.
@@ -237,6 +281,11 @@ pub struct ReduceHistograms {
     pub view_insertion: HistogramSnapshot,
     /// View-transferal (detach/attach) latencies.
     pub transferal: HistogramSnapshot,
+    /// View-transferal latencies again, but wall-clock and at sub-log2
+    /// resolution (see [`Instrument::transferal_fine_ns`] for why the
+    /// clocks differ): the histogram the contended-transferal gate and
+    /// the bimodality analysis read.
+    pub transferal_fine: FineHistogramSnapshot,
     /// Hypermerge latencies (including monoid operations).
     pub hypermerge: HistogramSnapshot,
 }

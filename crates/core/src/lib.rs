@@ -55,7 +55,9 @@ pub mod monoid;
 pub mod reducer;
 
 mod domain;
+mod lockfree;
 mod msync;
+mod reclaim;
 
 #[cfg(all(test, feature = "model"))]
 mod model_tests;

@@ -1,0 +1,805 @@
+//! Lock-free view-lifecycle structures (DESIGN.md §13): the per-slot
+//! leftmost registry with pending-merge lists, and the public SPA-map
+//! free-list.
+//!
+//! PR 3's tracing showed the old `Mutex`-guarded registry and map pool
+//! serializing every steal return and hypermerge behind the domain
+//! locks. This module replaces them:
+//!
+//! * [`SlotRegistry`] — a chunked array of [`SlotCell`]s, one per
+//!   reducer slot (`tlmm_addr`). Registration CAS-publishes the
+//!   leftmost view pointer; region-end folds *push* detached views
+//!   onto a per-slot Treiber **pending list** and return immediately
+//!   (the returning thief keeps stealing); the fold into leftmost
+//!   storage happens later — on the owner's next serial touch or from
+//!   the idle-worker drain hook — strictly in push (= serial) order.
+//!   Slot numbers are recycled through a tag-stamped lock-free
+//!   free-list (cells are never deallocated before domain teardown, so
+//!   an ABA tag is all the protection popping needs).
+//! * [`MapPool`] — a Treiber free-list of boxed public SPA maps. Nodes
+//!   unlinked by `pop` may still be under a racing popper's feet, so
+//!   they are handed to the [`Collector`](crate::reclaim::Collector)
+//!   and freed once every pinned reader has moved on.
+//! * [`SerialBorrow`] — the per-reducer serial-exclusion word, moved
+//!   *into* the domain-owned cell (it used to live in the
+//!   `ReducerInner`, which an idle drainer could outlive). Three
+//!   states: free, user (serial-path reducer access; a second user
+//!   panics — that is a Cilk serial-semantics violation), drainer
+//!   (internal; users spin until it passes, drainers skip).
+//!
+//! Everything here goes through the `msync` atomic facade, so the
+//! protocols run under the model checker's weak-memory exploration
+//! (`--features model`).
+
+use crate::msync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use cilkm_spa::SpaMapBox;
+
+use crate::domain::Slot;
+use crate::monoid::MonoidInstance;
+use crate::reclaim::Collector;
+
+/// Slots per chunk (lazily allocated; pointer-stable once published).
+const CHUNK: usize = 256;
+/// Chunk directory size: `CHUNK * MAX_CHUNKS` = 65 536 slots, far above
+/// the "reasonable number of reducers" the paper's footnote 9 assumes.
+const MAX_CHUNKS: usize = 256;
+/// Free-list terminator in the `u32` slot-index space.
+const NONE: u32 = u32::MAX;
+
+/// Serial word: nobody is at a serial point for this reducer.
+const SERIAL_FREE: u32 = 0;
+/// Serial word: a user serial-path access (update outside a region,
+/// read/take/set/into_inner, drop) is in progress.
+const SERIAL_USER: u32 = 1;
+/// Serial word: an idle-worker drain is folding this slot's pending
+/// views. Users wait it out; it is short and lock-free.
+const SERIAL_DRAIN: u32 = 2;
+
+/// One node of a per-slot pending-merge list: a detached view awaiting
+/// its fold into leftmost storage.
+pub(crate) struct PendingNode {
+    /// Written by the pusher before the publishing CAS and read only by
+    /// the drainer that took the whole list with a `swap`, so a plain
+    /// field suffices (the list head carries the happens-before).
+    next: *mut PendingNode,
+    view: *mut u8,
+}
+
+/// Per-slot atomic cell: the leftmost registry entry, the pending-merge
+/// list head, the serial-exclusion word, and the free-list link.
+pub(crate) struct SlotCell {
+    /// Leftmost view pointer; null while the slot is unregistered.
+    view: AtomicPtr<u8>,
+    /// Erased `MonoidInstance` pointer (valid while `view` is non-null:
+    /// the owning reducer cannot finish dropping while a drainer holds
+    /// the serial word).
+    monoid: AtomicPtr<u8>,
+    /// Tri-state serial-exclusion word (see module docs).
+    serial: AtomicU32,
+    /// Pending-merge Treiber list head.
+    pending: AtomicPtr<PendingNode>,
+    /// Next slot index when this slot sits on the free-list.
+    next_free: AtomicU32,
+}
+
+impl SlotCell {
+    const fn new() -> SlotCell {
+        SlotCell {
+            view: AtomicPtr::new(std::ptr::null_mut()),
+            monoid: AtomicPtr::new(std::ptr::null_mut()),
+            serial: AtomicU32::new(SERIAL_FREE),
+            pending: AtomicPtr::new(std::ptr::null_mut()),
+            next_free: AtomicU32::new(NONE),
+        }
+    }
+}
+
+struct CellChunk {
+    cells: [SlotCell; CHUNK],
+}
+
+/// The lock-free leftmost registry + slot allocator (see module docs).
+pub(crate) struct SlotRegistry {
+    chunks: [AtomicPtr<CellChunk>; MAX_CHUNKS],
+    /// Tagged free-list head: `(tag << 32) | slot_index`. The tag is
+    /// bumped on every successful push *and* pop, so a pop's CAS cannot
+    /// succeed across an interleaved pop/push pair that resurrected the
+    /// same head index with a different successor (ABA).
+    free_head: AtomicU64,
+    /// Bump allocator for never-used slots.
+    next_fresh: AtomicU32,
+    /// Global count of views sitting on pending lists — the cheap
+    /// "anything to drain?" check for idle workers, exported as the
+    /// `pending_depth` metric.
+    pending_total: AtomicUsize,
+}
+
+// SAFETY: all fields are atomics or arrays of atomics; the chunk
+// pointers are published once via CAS and only deallocated by `Drop`
+// (`&mut self`), and the view/monoid/pending raw pointers they guard
+// are handed across threads only through the acquire/release protocols
+// documented on each method.
+unsafe impl Send for SlotRegistry {}
+// SAFETY: as above — all shared mutation goes through the atomics.
+unsafe impl Sync for SlotRegistry {}
+
+impl SlotRegistry {
+    pub(crate) const fn new() -> SlotRegistry {
+        SlotRegistry {
+            chunks: [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_CHUNKS],
+            free_head: AtomicU64::new(NONE as u64),
+            next_fresh: AtomicU32::new(0),
+            pending_total: AtomicUsize::new(0),
+        }
+    }
+
+    /// Allocates a slot: recycles from the free-list, else takes a
+    /// fresh index (allocating its chunk on first use).
+    pub(crate) fn alloc(&self) -> Slot {
+        if let Some(s) = self.pop_free() {
+            return s;
+        }
+        let s = self.next_fresh.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            (s as usize) < CHUNK * MAX_CHUNKS,
+            "slot space exhausted ({} slots)",
+            CHUNK * MAX_CHUNKS
+        );
+        self.ensure_chunk(s);
+        s
+    }
+
+    /// Pops the free-list (tag-stamped against ABA; see `free_head`).
+    // lint: hot-path
+    fn pop_free(&self) -> Option<Slot> {
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            let idx = head as u32;
+            if idx == NONE {
+                return None;
+            }
+            // A freed slot's chunk always exists, so `cell` is safe.
+            let next = self.cell(idx).next_free.load(Ordering::Relaxed);
+            let new = bump_tag(head, next);
+            match self.free_head.compare_exchange_weak(
+                head,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(idx),
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Returns a slot to the free-list.
+    // lint: hot-path
+    pub(crate) fn free(&self, slot: Slot) {
+        let cell = self.cell(slot);
+        debug_assert!(cell.view.load(Ordering::Relaxed).is_null());
+        debug_assert!(cell.pending.load(Ordering::Relaxed).is_null());
+        let mut head = self.free_head.load(Ordering::Relaxed);
+        loop {
+            cell.next_free.store(head as u32, Ordering::Relaxed);
+            let new = bump_tag(head, slot);
+            match self.free_head.compare_exchange_weak(
+                head,
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Publishes chunk `slot / CHUNK`, racing allocators tolerated (the
+    /// CAS loser frees its chunk and uses the winner's).
+    fn ensure_chunk(&self, slot: Slot) {
+        let c = slot as usize / CHUNK;
+        if !self.chunks[c].load(Ordering::Acquire).is_null() {
+            return;
+        }
+        let fresh = Box::into_raw(Box::new(CellChunk {
+            cells: [const { SlotCell::new() }; CHUNK],
+        }));
+        if let Err(_won) = self.chunks[c].compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            // SAFETY: `fresh` never escaped this thread.
+            drop(unsafe { Box::from_raw(fresh) });
+        }
+    }
+
+    /// The cell of an allocated slot. Callers must pass a slot that was
+    /// returned by [`SlotRegistry::alloc`] (its chunk then exists).
+    pub(crate) fn cell(&self, slot: Slot) -> &SlotCell {
+        let c = slot as usize / CHUNK;
+        let chunk = self.chunks[c].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null(), "cell() on an unallocated slot {slot}");
+        // SAFETY: chunk pointers are published once (ensure_chunk) and
+        // stay valid until `Drop` takes `&mut self`, and the index is in
+        // bounds by construction.
+        unsafe { (*chunk).cells.get_unchecked(slot as usize % CHUNK) }
+    }
+
+    /// CAS-publishes the leftmost view + monoid for `slot`. Panics if
+    /// the slot is already registered (a lifecycle bug, not a race).
+    pub(crate) fn register(&self, slot: Slot, view: *mut u8, monoid: *const u8) {
+        let cell = self.cell(slot);
+        cell.monoid.store(monoid as *mut u8, Ordering::Relaxed);
+        // Release-publish the view *after* the monoid, so any thread
+        // that Acquire-loads a non-null view also sees its monoid.
+        let r = cell.view.compare_exchange(
+            std::ptr::null_mut(),
+            view,
+            Ordering::Release,
+            Ordering::Relaxed,
+        );
+        assert!(r.is_ok(), "slot {slot} already registered");
+    }
+
+    /// Unpublishes `slot`, returning its leftmost view (None if it was
+    /// never registered). The caller must have drained pending views.
+    pub(crate) fn unregister(&self, slot: Slot) -> Option<*mut u8> {
+        let v = self
+            .cell(slot)
+            .view
+            .swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if v.is_null() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// The leftmost entry of `slot`: `(view, monoid)` if registered.
+    pub(crate) fn entry(&self, slot: Slot) -> Option<(*mut u8, *const u8)> {
+        let cell = self.cell(slot);
+        let view = cell.view.load(Ordering::Acquire);
+        if view.is_null() {
+            return None;
+        }
+        Some((view, cell.monoid.load(Ordering::Relaxed) as *const u8))
+    }
+
+    /// Replaces the leftmost view pointer, returning the old one.
+    pub(crate) fn swap_view(&self, slot: Slot, new_view: *mut u8) -> *mut u8 {
+        let old = self.cell(slot).view.swap(new_view, Ordering::AcqRel);
+        assert!(!old.is_null(), "slot {slot} not registered");
+        old
+    }
+
+    /// Views currently sitting on pending lists (the fast idle check).
+    pub(crate) fn pending_total(&self) -> usize {
+        self.pending_total.load(Ordering::Relaxed)
+    }
+
+    /// Highest slot index ever allocated (scan bound for the drainer).
+    pub(crate) fn high_water(&self) -> u32 {
+        self.next_fresh.load(Ordering::Relaxed)
+    }
+
+    /// Number of registered slots — test aid.
+    pub(crate) fn live(&self) -> usize {
+        (0..self.high_water())
+            .filter(|&s| !self.cell(s).view.load(Ordering::Relaxed).is_null())
+            .count()
+    }
+
+    /// Pushes a detached `view` onto `slot`'s pending-merge list — the
+    /// steal-return half of the handoff: no lock, no fold, the caller
+    /// (a returning thief or a region-end collect) continues
+    /// immediately.
+    ///
+    /// # Safety
+    ///
+    /// `view` must be a live boxed view of the slot's monoid type, and
+    /// the slot must be registered (views must not outlive the
+    /// reducer).
+    pub(crate) unsafe fn push_pending(&self, slot: Slot, view: *mut u8) {
+        let cell = self.cell(slot);
+        assert!(
+            !cell.view.load(Ordering::Acquire).is_null(),
+            "views outlive reducer for slot {slot}"
+        );
+        let node = Box::into_raw(Box::new(PendingNode {
+            next: std::ptr::null_mut(),
+            view,
+        }));
+        self.push_pending_node(cell, node);
+    }
+
+    /// Region-exit fold attempt: if the slot's serial word is free,
+    /// takes it as a drainer, folds any parked views (serially earlier
+    /// than `view`) and then `view` itself into the leftmost — no
+    /// allocation, no parked node — and returns `true`. If the word is
+    /// busy (the owner or another drainer holds it), returns `false`
+    /// without touching `view`: the caller parks it with
+    /// [`SlotRegistry::push_pending`] instead. Never blocks either way.
+    ///
+    /// # Safety
+    ///
+    /// As [`SlotRegistry::push_pending`]: `view` must be a live boxed
+    /// view of the slot's monoid, and the slot must be registered.
+    // lint: hot-path
+    pub(crate) unsafe fn try_fold_root(&self, slot: Slot, view: *mut u8) -> bool {
+        let cell = self.cell(slot);
+        let Some(_borrow) = SerialBorrow::try_acquire_drain(cell) else {
+            return false;
+        };
+        let left = cell.view.load(Ordering::Acquire);
+        assert!(!left.is_null(), "views outlive reducer for slot {slot}");
+        // SAFETY: drainer serial word held; slot checked registered.
+        unsafe { self.drain_cell(cell) };
+        let monoid = cell.monoid.load(Ordering::Relaxed) as *const u8;
+        // SAFETY: registered slot ⇒ live erased monoid instance.
+        let inst = unsafe { MonoidInstance::from_erased(monoid) };
+        // SAFETY: `left` is the live leftmost view and `view` a live
+        // detached view of the same monoid (fn contract); the reduce
+        // consumes the right operand.
+        unsafe { inst.reduce_into(left, view) };
+        true
+    }
+
+    /// The publishing CAS loop for [`SlotRegistry::push_pending`]
+    /// (allocation stays in the caller).
+    // lint: hot-path
+    fn push_pending_node(&self, cell: &SlotCell, node: *mut PendingNode) {
+        let mut head = cell.pending.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is exclusively ours until the CAS below
+            // publishes it.
+            unsafe { (*node).next = head };
+            match cell.pending.compare_exchange_weak(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        self.pending_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds every pending view of this cell into its leftmost view, in
+    /// push (= serial left-to-right) order, until the list stays empty.
+    /// Returns the number of views folded.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the cell's serial word (user or drainer),
+    /// and the slot must be registered with a live view and monoid.
+    pub(crate) unsafe fn drain_cell(&self, cell: &SlotCell) -> usize {
+        let mut folded = 0usize;
+        loop {
+            let taken = cell.pending.swap(std::ptr::null_mut(), Ordering::Acquire);
+            if taken.is_null() {
+                break;
+            }
+            // Reverse the LIFO list: push order is region order is
+            // serial order (regions are serialized, and each region
+            // contributes at most one final view per slot), so the
+            // reversed list folds left-to-right.
+            let mut chron: *mut PendingNode = std::ptr::null_mut();
+            let mut cur = taken;
+            while !cur.is_null() {
+                // SAFETY: the swap above transferred exclusive ownership
+                // of the whole list to this thread.
+                let next = unsafe { (*cur).next };
+                // SAFETY: same exclusive ownership as the read above.
+                unsafe { (*cur).next = chron };
+                chron = cur;
+                cur = next;
+            }
+            let left = cell.view.load(Ordering::Relaxed);
+            let monoid = cell.monoid.load(Ordering::Relaxed) as *const u8;
+            debug_assert!(!left.is_null() && !monoid.is_null());
+            // SAFETY: caller contract — registered slot, live monoid.
+            let inst = unsafe { MonoidInstance::from_erased(monoid) };
+            while !chron.is_null() {
+                // SAFETY: exclusive list ownership as above; each node
+                // was allocated by push_pending and is freed exactly
+                // once here.
+                let node = unsafe { Box::from_raw(chron) };
+                chron = node.next;
+                // SAFETY: `left` is the live leftmost view and
+                // `node.view` a live detached view of the same monoid
+                // (push_pending contract); reduce consumes the right.
+                unsafe { inst.reduce_into(left, node.view) };
+                folded += 1;
+            }
+        }
+        if folded != 0 {
+            self.pending_total.fetch_sub(folded, Ordering::Relaxed);
+        }
+        folded
+    }
+
+    /// One idle-worker sweep: for every slot with pending views, try to
+    /// take the drainer role and fold them. Never blocks — slots whose
+    /// serial word is busy are simply skipped (their holder will drain
+    /// them). Returns the number of views folded.
+    pub(crate) fn drain_idle(&self) -> usize {
+        if self.pending_total() == 0 {
+            return 0;
+        }
+        let mut folded = 0usize;
+        for slot in 0..self.high_water() {
+            let chunk = self.chunks[slot as usize / CHUNK].load(Ordering::Acquire);
+            if chunk.is_null() {
+                // Fresh-slot chunks appear in order; nothing past here.
+                break;
+            }
+            // SAFETY: published chunks stay valid until domain teardown.
+            let cell = unsafe { (*chunk).cells.get_unchecked(slot as usize % CHUNK) };
+            if cell.pending.load(Ordering::Relaxed).is_null() {
+                continue;
+            }
+            let Some(_borrow) = SerialBorrow::try_acquire_drain(cell) else {
+                continue;
+            };
+            // Re-check under the serial word: an unregistered slot's
+            // pendings belong to the reducer's Drop (which is spinning
+            // on this very word if it is mid-teardown).
+            if cell.view.load(Ordering::Acquire).is_null() {
+                continue;
+            }
+            // SAFETY: we hold the drainer serial word and just checked
+            // the slot is registered; the owning reducer cannot finish
+            // dropping (its Drop needs the user serial word), so view
+            // and monoid stay live for the duration.
+            folded += unsafe { self.drain_cell(cell) };
+        }
+        folded
+    }
+}
+
+impl Drop for SlotRegistry {
+    fn drop(&mut self) {
+        for c in &mut self.chunks {
+            let chunk = *c.get_mut();
+            if chunk.is_null() {
+                continue;
+            }
+            // SAFETY: `&mut self` — no concurrent users; each chunk was
+            // Box-allocated by ensure_chunk and unpublished here once.
+            let mut chunk = unsafe { Box::from_raw(chunk) };
+            for cell in &mut chunk.cells {
+                // Leaked reducers may leave pending nodes; free the
+                // node memory (the views leak with their reducer, as
+                // they always did). `get_mut`, not `load`: teardown is
+                // exclusive, and a traced atomic op here would panic
+                // inside a Drop if the model is already unwinding.
+                let mut p = *cell.pending.get_mut();
+                while !p.is_null() {
+                    // SAFETY: teardown is single-threaded; nodes are
+                    // freed exactly once.
+                    let node = unsafe { Box::from_raw(p) };
+                    p = node.next;
+                }
+            }
+        }
+    }
+}
+
+/// `(tag+1, idx)` — new head word for the slot free-list.
+#[inline]
+fn bump_tag(head: u64, idx: u32) -> u64 {
+    ((head >> 32).wrapping_add(1) << 32) | idx as u64
+}
+
+/// Guard for the per-cell serial word (see module docs).
+pub(crate) struct SerialBorrow<'a> {
+    word: &'a AtomicU32,
+}
+
+impl<'a> SerialBorrow<'a> {
+    /// Takes the serial word for a user serial-path access. Spins out a
+    /// concurrent drainer (short, lock-free); panics on a second user —
+    /// overlapping serial accesses are a program error under the Cilk
+    /// serial semantics, exactly as the old `AtomicBool` flag did.
+    pub(crate) fn acquire_user(cell: &'a SlotCell) -> SerialBorrow<'a> {
+        let word = &cell.serial;
+        loop {
+            match word.compare_exchange(
+                SERIAL_FREE,
+                SERIAL_USER,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return SerialBorrow { word },
+                Err(SERIAL_DRAIN) => crate::msync::spin_hint(),
+                Err(_) => panic!(
+                    "concurrent serial access to a reducer \
+                     (serial accesses must not overlap)"
+                ),
+            }
+        }
+    }
+
+    /// Tries to take the serial word as a drainer; `None` if anyone
+    /// (user or another drainer) holds it.
+    pub(crate) fn try_acquire_drain(cell: &'a SlotCell) -> Option<SerialBorrow<'a>> {
+        cell.serial
+            .compare_exchange(
+                SERIAL_FREE,
+                SERIAL_DRAIN,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .ok()
+            .map(|_| SerialBorrow { word: &cell.serial })
+    }
+}
+
+impl Drop for SerialBorrow<'_> {
+    fn drop(&mut self) {
+        // Skip the model release while unwinding: if the execution is
+        // being torn down (ModelAbort) a traced op here would nest a
+        // second abort panic inside this Drop — a double panic; if a
+        // test assertion is unwinding, the failure is already recorded
+        // and the execution stops anyway. (Same discipline as the
+        // checker's own MutexGuard.)
+        #[cfg(feature = "model")]
+        if std::thread::panicking() {
+            return;
+        }
+        self.word.store(SERIAL_FREE, Ordering::Release);
+    }
+}
+
+/// A node of the public-map free-list.
+struct MapNode {
+    /// Written before the publishing CAS, immutable afterwards; racing
+    /// poppers read it under the collector's pin.
+    next: *mut MapNode,
+    /// Taken out by value by the winning popper; the node shell is then
+    /// retired. `ManuallyDrop` so freeing the shell never double-drops.
+    map: std::mem::ManuallyDrop<SpaMapBox>,
+}
+
+/// Destructor for a popped node shell: the map was moved out, only the
+/// allocation remains.
+unsafe fn free_map_node(p: *mut u8) {
+    // SAFETY: by this fn's contract `p` came from `Box::into_raw` in
+    // `MapPool::push` and its `map` was taken by the popper.
+    let node = unsafe { Box::from_raw(p as *mut MapNode) };
+    drop(node);
+}
+
+/// Lock-free pool of empty public SPA maps (replaces the old
+/// `Mutex<Vec<SpaMapBox>>`): a Treiber stack whose unlinked nodes are
+/// reclaimed through the hazard-era [`Collector`].
+pub(crate) struct MapPool {
+    head: AtomicPtr<MapNode>,
+    collector: Collector,
+}
+
+// SAFETY: head is atomic; the nodes it reaches are shared only through
+// the pin/retire protocol (reclaim.rs), and `SpaMapBox` contents are
+// plain heap memory untouched while pooled (same argument the old
+// mutex-guarded pool made).
+unsafe impl Send for MapPool {}
+// SAFETY: as above.
+unsafe impl Sync for MapPool {}
+
+impl MapPool {
+    pub(crate) const fn new() -> MapPool {
+        MapPool {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            collector: Collector::new(),
+        }
+    }
+
+    /// Returns one empty map to the pool.
+    pub(crate) fn push(&self, map: SpaMapBox) {
+        let node = Box::into_raw(Box::new(MapNode {
+            next: std::ptr::null_mut(),
+            map: std::mem::ManuallyDrop::new(map),
+        }));
+        self.push_node(node);
+    }
+
+    /// The publishing CAS loop for [`MapPool::push`] (allocation stays
+    /// in the caller).
+    // lint: hot-path
+    fn push_node(&self, node: *mut MapNode) {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is exclusively ours until published.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Off-critical-path reclamation of popped node shells: frees
+    /// whatever the hazard-era collector can prove unreachable. Called
+    /// from the idle-drain hook so `pop` itself almost never sweeps.
+    pub(crate) fn collect(&self) {
+        self.collector.collect();
+    }
+
+    /// Takes one map, or `None` if the pool is empty.
+    // lint: hot-path
+    pub(crate) fn pop(&self) -> Option<SpaMapBox> {
+        let guard = self.collector.pin();
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            if head.is_null() {
+                return None;
+            }
+            // SAFETY: the pin guarantees `head` has not been freed: a
+            // node is only freed once its retire stamp is older than
+            // every reservation, and a node retired *before* our pin's
+            // validated era read cannot be the value this Acquire load
+            // returned (the unlink happens-before our load via the
+            // SeqCst era chain — see reclaim.rs soundness note). The
+            // same argument rules out ABA: this address cannot have
+            // been freed and re-pushed while we are pinned.
+            let next = unsafe { (*head).next };
+            match self
+                .head
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    // SAFETY: the successful CAS unlinked `head`; we are
+                    // its exclusive owner (racing poppers may still read
+                    // its `next`, which we do not touch). Raw-pointer
+                    // projection so no reference to the shared node is
+                    // materialized.
+                    let map = unsafe {
+                        std::mem::ManuallyDrop::into_inner(std::ptr::read(std::ptr::addr_of!(
+                            (*head).map
+                        )))
+                    };
+                    // SAFETY: unlinked above, never retired before, and
+                    // valid for free_map_node by construction.
+                    unsafe { self.collector.retire(head as *mut u8, free_map_node) };
+                    drop(guard);
+                    return Some(map);
+                }
+                Err(h) => head = h,
+            }
+        }
+    }
+}
+
+impl Drop for MapPool {
+    fn drop(&mut self) {
+        let mut head = *self.head.get_mut();
+        while !head.is_null() {
+            // SAFETY: `&mut self` — no concurrent users; pooled nodes
+            // still own their maps, so drop both.
+            let mut node = unsafe { Box::from_raw(head) };
+            head = node.next;
+            // SAFETY: the map was never taken (the node was still
+            // linked), so exactly one drop happens here.
+            unsafe { std::mem::ManuallyDrop::drop(&mut node.map) };
+        }
+        // The collector's own Drop frees retired node shells.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_recycle_through_the_tagged_free_list() {
+        let r = SlotRegistry::new();
+        let a = r.alloc();
+        let b = r.alloc();
+        assert_ne!(a, b);
+        r.free(a);
+        assert_eq!(r.alloc(), a, "freed slot must be reused first");
+        r.free(b);
+        r.free(a);
+        // LIFO: last freed pops first.
+        assert_eq!(r.alloc(), a);
+        assert_eq!(r.alloc(), b);
+    }
+
+    #[test]
+    fn registry_publishes_and_unpublishes_entries() {
+        let r = SlotRegistry::new();
+        let s = r.alloc();
+        assert!(r.entry(s).is_none());
+        let view = Box::into_raw(Box::new(5u64)) as *mut u8;
+        r.register(s, view, std::ptr::null());
+        assert_eq!(r.live(), 1);
+        let (v, _m) = r.entry(s).unwrap();
+        assert_eq!(v, view);
+        let v = r.unregister(s).unwrap();
+        // SAFETY: the view was Box::into_raw'ed above; unregistering
+        // returned the sole remaining pointer to it.
+        unsafe { drop(Box::from_raw(v as *mut u64)) };
+        assert_eq!(r.live(), 0);
+        assert!(r.entry(s).is_none());
+    }
+
+    #[test]
+    fn map_pool_recycles_and_frees_on_drop() {
+        let p = MapPool::new();
+        assert!(p.pop().is_none());
+        p.push(SpaMapBox::default());
+        p.push(SpaMapBox::default());
+        let a = p.pop().expect("two maps pooled");
+        assert!(a.as_ref().is_empty());
+        // One map still pooled at drop: MapPool::drop must free it.
+        drop(p);
+    }
+
+    #[test]
+    fn serial_word_spins_out_drainers_and_panics_on_users() {
+        let r = SlotRegistry::new();
+        let s = r.alloc();
+        let cell = r.cell(s);
+        let user = SerialBorrow::acquire_user(cell);
+        assert!(
+            SerialBorrow::try_acquire_drain(cell).is_none(),
+            "drainer must not enter while a user holds the word"
+        );
+        drop(user);
+        let drain = SerialBorrow::try_acquire_drain(cell).expect("free word");
+        drop(drain);
+        let _user = SerialBorrow::acquire_user(cell);
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent serial access")]
+    fn overlapping_user_borrows_panic() {
+        let r = SlotRegistry::new();
+        let s = r.alloc();
+        let _a = SerialBorrow::acquire_user(r.cell(s));
+        let _b = SerialBorrow::acquire_user(r.cell(s));
+    }
+
+    #[test]
+    fn pending_views_fold_in_push_order() {
+        // Non-commutative monoid: order mistakes change the answer.
+        struct Concat;
+        impl crate::monoid::Monoid for Concat {
+            type View = String;
+            fn identity(&self) -> String {
+                String::new()
+            }
+            fn reduce(&self, left: &mut String, right: String) {
+                left.push_str(&right);
+            }
+        }
+        let m = std::sync::Arc::new(Concat);
+        let inst = MonoidInstance::new(&m);
+        let r = SlotRegistry::new();
+        let s = r.alloc();
+        let left = Box::into_raw(Box::new(String::from("L"))) as *mut u8;
+        r.register(s, left, inst.as_erased());
+        for part in ["a", "b", "c"] {
+            let v = Box::into_raw(Box::new(String::from(part))) as *mut u8;
+            // SAFETY: live boxed String views of the registered monoid.
+            unsafe { r.push_pending(s, v) };
+        }
+        assert_eq!(r.pending_total(), 3);
+        assert_eq!(r.drain_idle(), 3);
+        assert_eq!(r.pending_total(), 0);
+        let v = r.unregister(s).unwrap();
+        // SAFETY: sole owner after unregister; it is the Box<String>
+        // registered above.
+        let folded = unsafe { Box::from_raw(v as *mut String) };
+        assert_eq!(*folded, "Labc", "pending folds must keep serial order");
+    }
+}

@@ -430,7 +430,7 @@ impl HyperHooks for MmapHooks {
         let st = state.downcast_mut::<MmapWorkerState>().expect("mmap state");
         st.flush_lookups();
         st.forget_last();
-        let t0 = crate::instrument::thread_time_ns();
+        let t0 = Instrument::transferal_timer();
         let mut maps = Vec::new();
         let mut count = 0usize;
         if st.current_views != 0 {
@@ -455,7 +455,7 @@ impl HyperHooks for MmapHooks {
             self.ins().transferals.inc();
             self.ins().transferal_views.add(count as u64);
         }
-        Instrument::add_ns(&self.ins().transferal_ns, t0);
+        self.ins().finish_transferal(t0);
         Box::new(MmapDetached { maps, count })
     }
 
@@ -464,7 +464,7 @@ impl HyperHooks for MmapHooks {
         let det = *views.downcast::<MmapDetached>().expect("mmap views");
         debug_assert_eq!(st.current_views, 0, "attach over non-empty context");
         st.forget_last();
-        let t0 = crate::instrument::thread_time_ns();
+        let t0 = Instrument::transferal_timer();
         for (pidx, public) in det.maps {
             let pidx = pidx as usize;
             st.ensure_page(pidx);
@@ -475,7 +475,7 @@ impl HyperHooks for MmapHooks {
             st.recycle_map(public);
         }
         st.current_views = det.count;
-        Instrument::add_ns(&self.ins().transferal_ns, t0);
+        self.ins().finish_transferal(t0);
     }
 
     fn merge_right(&self, state: &mut dyn Any, right: DetachedViews) {
@@ -595,7 +595,17 @@ impl HyperHooks for MmapHooks {
             }
             (*st).current_views = 0;
             for (slot, pair) in entries {
-                self.domain.fold_into_leftmost(slot as Slot, pair.view);
+                // Lock-free handoff (DESIGN.md §13): fold inline when
+                // the slot's serial word is free (one CAS, the common
+                // case at a region boundary), else park the view on the
+                // slot's pending-merge list and continue — the fold
+                // then happens off the critical path (owner's next
+                // serial touch or the idle-worker drain hook). Never
+                // blocks either way.
+                // SAFETY: `pair.view` is a live boxed view of this
+                // slot's monoid and the reducer is still registered
+                // (views must not outlive their reducer).
+                self.domain.fold_or_park(slot as Slot, pair.view);
             }
         }
     }
@@ -621,6 +631,10 @@ impl HyperHooks for MmapHooks {
             });
             self.domain.recycle_public_maps([public]);
         }
+    }
+
+    fn drain_pending(&self) {
+        self.domain.idle_drain();
     }
 
     fn suspend(&self, state: &mut dyn Any) -> DetachedViews {

@@ -141,3 +141,147 @@ fn transferal_delivers_each_view_exactly_once() {
         assert_eq!(read(0, 9, &inst, &domain), "B");
     });
 }
+
+/// Lock-free handoff (DESIGN.md §13): concurrent region-exit handoffs
+/// (`fold_or_park` — inline fold when the serial word is free, parked
+/// pending node when it is contended) racing an owner-side drain must
+/// neither lose a view nor fold one twice, in any interleaving and
+/// under any allowed weak-memory read. Depending on the schedule each
+/// thief folds inline or parks, so both branches are explored.
+#[test]
+fn pending_pushes_race_owner_drain_without_loss() {
+    use crate::library::SumMonoid;
+    checker::model(|| {
+        let domain = Arc::new(DomainInner::new(Backend::Mmap));
+        let monoid = Arc::new(SumMonoid::<u64>::new());
+        let inst = Arc::new(MonoidInstance::new(&monoid));
+        let slot = domain.alloc_slot();
+        let leftmost = Box::into_raw(Box::new(1u64)) as *mut u8;
+        domain.register_leftmost(slot, leftmost, inst.as_erased());
+
+        let mut thieves = Vec::new();
+        for add in [2u64, 4] {
+            let (d, m, i) = (Arc::clone(&domain), Arc::clone(&monoid), Arc::clone(&inst));
+            thieves.push(checker::thread::spawn(move || {
+                let _keep_alive = (m, i);
+                let v = Box::into_raw(Box::new(add)) as *mut u8;
+                // SAFETY: live boxed u64 view of the registered
+                // SumMonoid; the reducer outlives this handoff (main
+                // joins before unregistering).
+                unsafe { d.fold_or_park(slot, v) };
+            }));
+        }
+        // The owner drains concurrently with the pushes.
+        {
+            let _borrow = domain.serial_user(slot);
+            // SAFETY: serial word held; slot registered.
+            unsafe { domain.drain_pending_slot(slot) };
+        }
+        for t in thieves {
+            t.join().unwrap();
+        }
+        // Final serial point: fold any stragglers and read the total.
+        let total = {
+            let _borrow = domain.serial_user(slot);
+            // SAFETY: serial word held; slot registered.
+            unsafe { domain.drain_pending_slot(slot) };
+            let v = domain.unregister_leftmost(slot).unwrap();
+            // SAFETY: sole remaining pointer after unregister.
+            unsafe { *Box::from_raw(v as *mut u64) }
+        };
+        assert_eq!(total, 7, "1 + 2 + 4: every view folded exactly once");
+        domain.free_slot(slot);
+    });
+}
+
+/// Pushes from one thread (= serialized regions) with an idle drainer
+/// racing them: the fold must keep push order even when a drain lands
+/// between pushes — over a non-commutative monoid a second drainer
+/// folding out of turn would be visible as a scrambled string, and a
+/// lost or doubled view as a missing/repeated character.
+#[test]
+fn racing_idle_drain_preserves_serial_fold_order() {
+    checker::model(|| {
+        let domain = Arc::new(DomainInner::new(Backend::Mmap));
+        let monoid = Arc::new(Concat);
+        let inst = Arc::new(MonoidInstance::new(&monoid));
+        let slot = domain.alloc_slot();
+        let leftmost = Box::into_raw(Box::new(String::from("L"))) as *mut u8;
+        domain.register_leftmost(slot, leftmost, inst.as_erased());
+
+        let d2 = Arc::clone(&domain);
+        let drainer = checker::thread::spawn(move || {
+            d2.idle_drain();
+            d2.idle_drain();
+        });
+        for part in ["a", "b"] {
+            let v = Box::into_raw(Box::new(String::from(part))) as *mut u8;
+            // SAFETY: live boxed String view of the registered Concat
+            // monoid; the reducer outlives the push.
+            unsafe { domain.push_pending(slot, v) };
+        }
+        drainer.join().unwrap();
+        let folded = {
+            let _borrow = domain.serial_user(slot);
+            // SAFETY: serial word held; slot registered.
+            unsafe { domain.drain_pending_slot(slot) };
+            let v = domain.unregister_leftmost(slot).unwrap();
+            // SAFETY: sole remaining pointer after unregister.
+            unsafe { *Box::from_raw(v as *mut String) }
+        };
+        assert_eq!(folded, "Lab", "drains must fold in push (serial) order");
+        domain.free_slot(slot);
+    });
+}
+
+/// Destructor for [`hazard_era_pin_prevents_use_after_retire`]'s node:
+/// the plain write reported here is the "free"; if the collector could
+/// free while a pinned reader still dereferences, the model's race
+/// detector flags it against the reader's recorded read.
+unsafe fn free_model_node(p: *mut u8) {
+    checker::trace::note_write(p as usize, "pooled-node");
+    // SAFETY: by this fn's contract `p` came from
+    // `Box::into_raw(Box<u64>)` and is freed exactly once, by the
+    // collector.
+    drop(unsafe { Box::from_raw(p as *mut u64) });
+}
+
+/// The hazard-era collector under the weak-memory model: a reader pins,
+/// loads the published pointer, and dereferences (a recorded plain
+/// read); the retirer unlinks, retires, and sweeps. No interleaving may
+/// free the node while the reader still holds it — a missing
+/// happens-before edge in the era protocol would surface here as a
+/// read/write race on the node.
+#[test]
+fn hazard_era_pin_prevents_use_after_retire() {
+    use crate::reclaim::Collector;
+    checker::model(|| {
+        let collector = Arc::new(Collector::new());
+        let published = Arc::new(checker::sync::atomic::AtomicPtr::new(Box::into_raw(
+            Box::new(42u64),
+        )));
+        let (c2, p2) = (Arc::clone(&collector), Arc::clone(&published));
+        let reader = checker::thread::spawn(move || {
+            let guard = c2.pin();
+            let p = p2.load(checker::sync::atomic::Ordering::Acquire);
+            if !p.is_null() {
+                // Simulated dereference of the protected node (what
+                // `MapPool::pop` does with `(*head).next`).
+                checker::trace::note_read(p as usize, "pooled-node");
+            }
+            drop(guard);
+        });
+        // Retirer: unlink, retire, and sweep eagerly.
+        let p = published.swap(
+            std::ptr::null_mut(),
+            checker::sync::atomic::Ordering::AcqRel,
+        );
+        // SAFETY: the swap unlinked `p`; it is retired exactly once and
+        // valid for `free_model_node`.
+        unsafe { collector.retire(p as *mut u8, free_model_node) };
+        collector.sweep();
+        reader.join().unwrap();
+        // Collector drop frees anything the sweep had to keep; ordered
+        // after the reader by the join edge, so never racy.
+    });
+}

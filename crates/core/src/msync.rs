@@ -3,13 +3,14 @@
 //! `cilkm-obs/src/msync.rs` (see DESIGN.md §10, and §12 for the lint
 //! that enforces it).
 //!
-//! The core's synchronization surface is small but load-bearing: the
-//! per-reducer **serial-access flag** (an `AtomicBool` raced by
-//! region-end folds against serial-path accesses) and the domain's
-//! slot/leftmost/pool **mutexes**. Importing them through this module
-//! keeps them zero-cost aliases of the real primitives in normal builds
-//! while letting `--features model` swap in `cilkm_checker`'s recorded
-//! versions, so the serial-exclusion protocol is explorable under
+//! Since the lock-free view-lifecycle rework (DESIGN.md §13) the core
+//! holds no mutexes at all: its synchronization surface is the atomics
+//! behind the slot registry's per-slot cells, the pending-merge and
+//! free-list Treiber stacks, the public-map pool, and the hazard-era
+//! collector (`reclaim`). Importing them through this module keeps them
+//! zero-cost aliases of `std::sync::atomic` in normal builds while
+//! letting `--features model` swap in `cilkm_checker`'s recorded
+//! versions, so every one of those protocols is explorable under
 //! `cilkm_checker::model(..)` like the scheduler's protocols already
 //! are.
 
@@ -18,7 +19,14 @@ pub(crate) use cilkm_checker::sync::atomic;
 #[cfg(not(feature = "model"))]
 pub(crate) use std::sync::atomic;
 
-#[cfg(feature = "model")]
-pub(crate) use cilkm_checker::sync::Mutex;
-#[cfg(not(feature = "model"))]
-pub(crate) use parking_lot::Mutex;
+/// One spin-wait beat inside a loop that waits on another thread's
+/// atomic progress. In normal builds a CPU relax hint; under the model
+/// a scheduling point, so the checker can run the thread being waited
+/// on instead of counting the spin as a livelock.
+#[inline]
+pub(crate) fn spin_hint() {
+    #[cfg(feature = "model")]
+    cilkm_checker::thread::yield_now();
+    #[cfg(not(feature = "model"))]
+    std::hint::spin_loop();
+}

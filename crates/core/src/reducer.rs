@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use crate::msync::atomic::{AtomicBool, Ordering};
 
-use crate::domain::{Backend, DomainInner, ReducerPool, SerialBorrow, Slot};
+use crate::domain::{Backend, DomainInner, ReducerPool, Slot};
 use crate::monoid::{Monoid, MonoidInstance};
 use crate::{hypermap, mmap};
 
@@ -32,9 +32,10 @@ struct ReducerInner<M: Monoid> {
     page: u32,
     idx: u32,
     domain: Arc<DomainInner>,
-    /// Excludes overlapping serial accesses (see [`SerialBorrow`]).
-    serial_flag: AtomicBool,
     /// Set once the leftmost entry has been extracted by `into_inner`.
+    /// (Serial-access exclusion lives in the domain-owned slot cell —
+    /// see `lockfree::SerialBorrow` — so an idle drainer never races a
+    /// flag inside this allocation's lifetime.)
     consumed: AtomicBool,
 }
 
@@ -90,16 +91,10 @@ impl<M: Monoid> Reducer<M> {
             page: slot / cilkm_spa::VIEWS_PER_MAP as u32,
             idx: slot % cilkm_spa::VIEWS_PER_MAP as u32,
             domain: Arc::clone(domain),
-            serial_flag: AtomicBool::new(false),
             consumed: AtomicBool::new(false),
         });
         let leftmost = Box::into_raw(Box::new(initial)) as *mut u8;
-        domain.register_leftmost(
-            slot,
-            leftmost,
-            inner.instance.as_erased(),
-            &inner.serial_flag as *const AtomicBool,
-        );
+        domain.register_leftmost(slot, leftmost, inner.instance.as_erased());
         Reducer { inner }
     }
 
@@ -175,7 +170,10 @@ impl<M: Monoid> Reducer<M> {
     #[cold]
     fn update_serial<R>(&self, f: impl FnOnce(&mut M::View) -> R) -> R {
         let inner = &*self.inner;
-        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        let _borrow = inner.domain.serial_user(inner.slot);
+        // SAFETY: we hold the serial word and the slot is registered
+        // (this reducer is alive).
+        unsafe { inner.domain.drain_pending_slot(inner.slot) };
         inner.domain.instrument.lookups.inc();
         let entry = inner
             .domain
@@ -206,10 +204,13 @@ impl<M: Monoid> Reducer<M> {
     }
 
     /// Reads the reducer's value at a serial point, after folding any
-    /// pending context view into the leftmost view.
+    /// pending detached views and the current context view into the
+    /// leftmost view.
     pub fn read<R>(&self, f: impl FnOnce(&M::View) -> R) -> R {
         let inner = &*self.inner;
-        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        let _borrow = inner.domain.serial_user(inner.slot);
+        // SAFETY: serial word held; slot registered while we are alive.
+        unsafe { inner.domain.drain_pending_slot(inner.slot) };
         self.fold_current();
         let entry = inner
             .domain
@@ -233,7 +234,9 @@ impl<M: Monoid> Reducer<M> {
     /// start the next layer empty, at the serial point between layers.
     pub fn take(&self) -> M::View {
         let inner = &*self.inner;
-        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        let _borrow = inner.domain.serial_user(inner.slot);
+        // SAFETY: serial word held; slot registered while we are alive.
+        unsafe { inner.domain.drain_pending_slot(inner.slot) };
         self.fold_current();
         let fresh = Box::into_raw(Box::new(inner.monoid.identity())) as *mut u8;
         let old = inner.domain.swap_leftmost_view(inner.slot, fresh);
@@ -251,7 +254,12 @@ impl<M: Monoid> Reducer<M> {
     /// freshly created with `value`.
     pub fn set(&self, value: M::View) {
         let inner = &*self.inner;
-        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        let _borrow = inner.domain.serial_user(inner.slot);
+        // Fold parked detached views first: left on the pending list,
+        // they would later fold into the *new* value and resurrect the
+        // history `set` is supposed to discard.
+        // SAFETY: serial word held; slot registered while we are alive.
+        unsafe { inner.domain.drain_pending_slot(inner.slot) };
         // Discard (not fold) the current context's view, per move_in.
         let ctx = match inner.domain.backend {
             Backend::Mmap => mmap::remove_current(inner.slot, &inner.domain),
@@ -273,16 +281,19 @@ impl<M: Monoid> Reducer<M> {
     /// Consumes the reducer and returns its final value.
     pub fn into_inner(self) -> M::View {
         let inner = &*self.inner;
-        let _borrow = SerialBorrow::acquire(&inner.serial_flag);
+        let _borrow = inner.domain.serial_user(inner.slot);
+        // SAFETY: serial word held; slot registered until the
+        // unregister below.
+        unsafe { inner.domain.drain_pending_slot(inner.slot) };
         self.fold_current();
         inner.consumed.store(true, Ordering::Release);
-        let entry = inner
+        let view = inner
             .domain
             .unregister_leftmost(inner.slot)
             .expect("reducer already consumed");
         // SAFETY: unregistering returned the sole pointer to the boxed
         // leftmost view; `consumed` stops any later double-free.
-        unsafe { *Box::from_raw(entry.view as *mut M::View) }
+        unsafe { *Box::from_raw(view as *mut M::View) }
     }
 }
 
@@ -302,10 +313,20 @@ impl<M: Monoid> Drop for ReducerInner<M> {
                 // SAFETY: removal made us the sole owner of the view.
                 unsafe { drop(Box::from_raw(v as *mut M::View)) };
             }
-            if let Some(entry) = self.domain.unregister_leftmost(self.slot) {
-                // SAFETY: unregistering returned the sole pointer to the
-                // boxed leftmost view.
-                unsafe { drop(Box::from_raw(entry.view as *mut M::View)) };
+            {
+                // Take the serial word: an idle drainer mid-fold on this
+                // slot is spun out here, and none can start afterwards
+                // (the drain hook re-checks registration under the word).
+                let _borrow = self.domain.serial_user(self.slot);
+                // Fold parked views before tearing down, so their boxes
+                // are not leaked on the pending list.
+                // SAFETY: serial word held; slot still registered.
+                unsafe { self.domain.drain_pending_slot(self.slot) };
+                if let Some(view) = self.domain.unregister_leftmost(self.slot) {
+                    // SAFETY: unregistering returned the sole pointer to
+                    // the boxed leftmost view.
+                    unsafe { drop(Box::from_raw(view as *mut M::View)) };
+                }
             }
         }
         self.domain.free_slot(self.slot);

@@ -46,7 +46,7 @@ mod model_tests;
 
 pub use event::{Event, EventKind};
 pub use metrics::{
-    Counter, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
-    MetricsSource,
+    Counter, FineHistogram, FineHistogramSnapshot, Histogram, HistogramSnapshot, MetricValue,
+    MetricsRegistry, MetricsSnapshot, MetricsSource,
 };
 pub use trace::{ThreadTrace, Trace};

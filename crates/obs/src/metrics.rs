@@ -207,6 +207,179 @@ impl HistogramSnapshot {
     }
 }
 
+/// Sub-log2 resolution: each power-of-two octave of a [`FineHistogram`]
+/// is split into `2^FINE_SUB_BITS` linearly spaced minor buckets, giving
+/// 4× the resolution of [`Histogram`] where the transferal bimodality
+/// lives (the 1–128 µs band) at ~12% relative bucket width.
+pub const FINE_SUB_BITS: u32 = 2;
+
+/// First octave that gets sub-bucketed (values below `2^(FINE_SUB_BITS)`
+/// are bucketed exactly, one value per bucket).
+const FINE_FIRST_OCTAVE: u32 = FINE_SUB_BITS;
+
+/// Highest octave a [`FineHistogram`] resolves; `2^20` ns ≈ 1.05 ms, so
+/// the fine range covers the whole transferal latency band with room
+/// above the 128 µs bucket the motivation names. Larger samples clamp
+/// into the last bucket.
+pub const FINE_MAX_OCTAVE: u32 = 20;
+
+/// Number of buckets in a [`FineHistogram`]: the exact region
+/// (`0..2^FINE_SUB_BITS`) plus four minor buckets per octave from
+/// [`FINE_SUB_BITS`] through [`FINE_MAX_OCTAVE`] inclusive.
+pub const FINE_BUCKETS: usize =
+    (1 << FINE_SUB_BITS) + ((FINE_MAX_OCTAVE - FINE_FIRST_OCTAVE + 1) << FINE_SUB_BITS) as usize;
+
+/// The fine bucket index a value falls into. Values in `0..4` map to
+/// themselves; larger values go to octave `floor(log2 v)` and minor
+/// bucket `(v >> (octave - FINE_SUB_BITS)) & 3`; values above the fine
+/// range clamp into the last bucket.
+#[inline]
+pub fn fine_bucket_index(v: u64) -> usize {
+    if v < (1 << FINE_SUB_BITS) {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    if octave > FINE_MAX_OCTAVE {
+        return FINE_BUCKETS - 1;
+    }
+    let minor = ((v >> (octave - FINE_SUB_BITS)) & ((1 << FINE_SUB_BITS) - 1)) as usize;
+    (1 << FINE_SUB_BITS) + (((octave - FINE_FIRST_OCTAVE) << FINE_SUB_BITS) as usize) + minor
+}
+
+/// Inclusive lower bound of fine bucket `i` (the inverse of
+/// [`fine_bucket_index`] on bucket boundaries).
+#[inline]
+pub fn fine_bucket_lower_bound(i: usize) -> u64 {
+    let exact = 1usize << FINE_SUB_BITS;
+    if i < exact {
+        return i as u64;
+    }
+    let k = i - exact;
+    let octave = FINE_FIRST_OCTAVE + (k >> FINE_SUB_BITS) as u32;
+    let minor = (k & ((1 << FINE_SUB_BITS) - 1)) as u64;
+    ((1 << FINE_SUB_BITS) as u64 + minor) << (octave - FINE_SUB_BITS)
+}
+
+/// A high-resolution histogram: log2 octaves split into linear minor
+/// buckets (HdrHistogram-style), so quantiles in the 1–128 µs band are
+/// exact to ~12% instead of the 2× of [`Histogram`]. Recording costs the
+/// same three `Relaxed` RMWs.
+#[derive(Debug)]
+pub struct FineHistogram {
+    buckets: [AtomicU64; FINE_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for FineHistogram {
+    fn default() -> FineHistogram {
+        FineHistogram::new()
+    }
+}
+
+impl FineHistogram {
+    /// A fresh empty histogram (const, usable in statics).
+    pub const fn new() -> FineHistogram {
+        FineHistogram {
+            buckets: [const { AtomicU64::new(0) }; FINE_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[fine_bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> FineHistogramSnapshot {
+        let mut buckets = [0u64; FINE_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        FineHistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`FineHistogram`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FineHistogramSnapshot {
+    /// Per-bucket sample counts (see [`fine_bucket_lower_bound`]).
+    pub buckets: [u64; FINE_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl Default for FineHistogramSnapshot {
+    fn default() -> FineHistogramSnapshot {
+        FineHistogramSnapshot {
+            buckets: [0; FINE_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl FineHistogramSnapshot {
+    /// The samples recorded since `earlier` (saturating, as in
+    /// [`HistogramSnapshot::since`]).
+    pub fn since(&self, earlier: &FineHistogramSnapshot) -> FineHistogramSnapshot {
+        let mut buckets = [0u64; FINE_BUCKETS];
+        for (out, (now, then)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *out = now.saturating_sub(*then);
+        }
+        FineHistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the smallest bucket prefix holding at least `q`
+    /// of the samples — a quantile exact to the fine bucket (~12%
+    /// relative width in the sub-bucketed octaves). Returns 0 when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return if i + 1 < FINE_BUCKETS {
+                    fine_bucket_lower_bound(i + 1)
+                } else {
+                    u64::MAX
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
 /// One exported metric value.
 ///
 /// The histogram variant is ~0.5 KiB (64 buckets), far larger than the
@@ -386,6 +559,62 @@ mod tests {
         // The top buckets saturate instead of overflowing the array.
         assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
         assert_eq!(bucket_index(1u64 << 63), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn fine_bucket_layout_round_trips() {
+        // Satellite requirement: every fine bucket's lower bound maps
+        // back to the bucket it bounds, bounds are strictly increasing,
+        // and the value just below each boundary lands one bucket lower.
+        for i in 0..FINE_BUCKETS {
+            let lb = fine_bucket_lower_bound(i);
+            assert_eq!(fine_bucket_index(lb), i, "lower bound of bucket {i}");
+            if i > 0 {
+                assert!(
+                    fine_bucket_lower_bound(i - 1) < lb,
+                    "bounds must be strictly increasing at {i}"
+                );
+                assert_eq!(
+                    fine_bucket_index(lb - 1),
+                    i - 1,
+                    "value below bucket {i}'s bound must land in bucket {}",
+                    i - 1
+                );
+            }
+        }
+        // Exact region: one value per bucket below 2^FINE_SUB_BITS.
+        for v in 0..(1u64 << FINE_SUB_BITS) {
+            assert_eq!(fine_bucket_index(v), v as usize);
+        }
+        // Above the fine range everything clamps into the last bucket.
+        assert_eq!(fine_bucket_index(u64::MAX), FINE_BUCKETS - 1);
+        assert_eq!(
+            fine_bucket_index(1 << (FINE_MAX_OCTAVE + 1)),
+            FINE_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn fine_histogram_resolves_the_microsecond_band() {
+        let h = FineHistogram::new();
+        // 1.1 µs and 1.6 µs share a log2 bucket but not a fine bucket.
+        assert_eq!(bucket_index(1_100), bucket_index(1_600));
+        assert_ne!(fine_bucket_index(1_100), fine_bucket_index(1_600));
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(100_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        let p50 = s.quantile_upper_bound(0.5);
+        // Fine p50 sits within ~12% of the true 1 µs mode, not at 2 µs.
+        assert!(p50 <= 1_280, "fine p50 {p50} must stay near the 1 µs mode");
+        assert!(s.quantile_upper_bound(1.0) > 100_000);
+        let before = s;
+        h.record(1_000);
+        let d = h.snapshot().since(&before);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.buckets[fine_bucket_index(1_000)], 1);
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub trait HyperHooks: Send + Sync + 'static {
     fn resume(&self, state: &mut dyn Any, views: DetachedViews) {
         self.attach(state, views)
     }
+
+    /// Idle-time maintenance: called when a worker's steal sweep came up
+    /// empty, before it backs off. Backends fold parked pending-merge
+    /// views here (DESIGN.md §13), so hypermerge work that was taken off
+    /// the steal critical path gets done while the worker has nothing
+    /// better to do. Must not block. Defaults to nothing.
+    fn drain_pending(&self) {}
 }
 
 /// The do-nothing hooks used by pools that run no reducers.

@@ -439,6 +439,18 @@ impl WorkerThread {
                 // per-sweep total is in `failed_steals`).
                 trace::emit(EventKind::StealFail, 0);
             }
+            // Idle-time maintenance: an empty steal sweep means this
+            // worker has nothing better to do than fold parked
+            // pending-merge views (DESIGN.md §13). Once at the start of
+            // an idle episode (when a region just ended this is the
+            // moment the parked views appear), with a periodic retry in
+            // case a first-pass drain lost a serial-word race — NOT on
+            // every failed sweep: with oversubscribed workers that
+            // turns idle spinning into a herd of registry scans
+            // competing for the CPU the victims need.
+            if idle == 1 || idle.is_multiple_of(64) {
+                self.registry.hooks.drain_pending();
+            }
             if idle <= self.registry.spin_tries {
                 // Exponentially longer pause bursts between steal sweeps.
                 for _ in 0..(1u32 << idle.min(8)) {
