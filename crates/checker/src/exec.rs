@@ -37,6 +37,55 @@ use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsMut
 
 use crate::clock::VClock;
 
+/// Which exploration engine drives a model run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Exhaustive depth-first enumeration of the schedule tree — the
+    /// original engine. Sound and complete within the configured bounds,
+    /// but exponential in the number of dependent *and independent*
+    /// operations alike.
+    Dfs,
+    /// Sleep-set dynamic partial-order reduction: exhaustive over
+    /// Mazurkiewicz traces, but backtracks only at dependent-transition
+    /// points (same atomic location with at least one write, same sync
+    /// object) and carries sleep sets so interleavings equivalent to an
+    /// explored one are pruned instead of re-executed.
+    Dpor,
+    /// PCT-style randomized scheduler: every thread gets a random
+    /// priority, `depth` priority-change points are sampled along the
+    /// run, and the highest-priority runnable thread always runs. The
+    /// PRNG is a seeded xorshift (no OS entropy), so a failing schedule
+    /// is replayable from the `seed:depth` pair it prints.
+    Pct {
+        /// Base seed; schedule `i` derives its own seed from `(seed, i)`.
+        seed: u64,
+        /// Number of priority-change points per schedule (the classic
+        /// PCT "d" parameter; finds bugs of depth `d`).
+        depth: usize,
+    },
+    /// Replays exactly one PCT schedule from its printed per-schedule
+    /// seed (the pair a failing [`Engine::Pct`] run reports, also
+    /// accepted at runtime via the `CILKM_CHECK_SEED` env var).
+    PctReplay {
+        /// The per-schedule seed printed by the failing run.
+        seed: u64,
+        /// The `depth` the failing run used.
+        depth: usize,
+    },
+}
+
+impl Engine {
+    /// Short stable name, used as the stats-report key.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            Engine::Dfs => "dfs",
+            Engine::Dpor => "dpor",
+            Engine::Pct { .. } => "pct",
+            Engine::PctReplay { .. } => "pct-replay",
+        }
+    }
+}
+
 /// Tuning knobs for one model run.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -47,11 +96,21 @@ pub struct Config {
     /// it fails the run (livelock / unbounded spin under the model).
     pub max_steps: usize,
     /// CHESS-style bound on *involuntary* context switches per
-    /// execution. `None` explores every interleaving (use only for tiny
-    /// tests). Voluntary switches (yield/park/block) are always free.
+    /// execution. `None` explores every interleaving (feasible for tiny
+    /// tests under [`Engine::Dfs`], and for much larger ones under
+    /// [`Engine::Dpor`]). Voluntary switches (yield/park/block) are
+    /// always free.
     pub preemptions: Option<usize>,
     /// Hard cap on threads per execution (model bookkeeping is O(n)).
     pub max_threads: usize,
+    /// Consecutive stale reads of one location a thread may perform
+    /// before the eventual-visibility rule forces it onto the newest
+    /// visible store (see `op_atomic_load`). Raising it increases
+    /// eventual-visibility pressure; 0 makes every load read the
+    /// coherence-latest value.
+    pub stale_read_bound: u32,
+    /// The exploration engine to drive schedules with.
+    pub engine: Engine,
 }
 
 impl Default for Config {
@@ -61,6 +120,41 @@ impl Default for Config {
             max_steps: 20_000,
             preemptions: Some(3),
             max_threads: 8,
+            stale_read_bound: 2,
+            engine: Engine::Dfs,
+        }
+    }
+}
+
+impl Config {
+    /// The scaled-up exhaustive mode: sleep-set DPOR with the preemption
+    /// bound removed (the reduction, not the bound, contains the tree).
+    pub fn dpor() -> Config {
+        Config {
+            engine: Engine::Dpor,
+            preemptions: None,
+            ..Config::default()
+        }
+    }
+
+    /// Seeded PCT sampling: `schedules` randomized schedules with
+    /// `depth` priority-change points each, unbounded preemptions.
+    pub fn pct(seed: u64, depth: usize, schedules: usize) -> Config {
+        Config {
+            engine: Engine::Pct { seed, depth },
+            preemptions: None,
+            max_schedules: schedules,
+            ..Config::default()
+        }
+    }
+
+    /// Replay of a single PCT schedule from its printed `seed:depth`
+    /// pair.
+    pub fn pct_replay(seed: u64, depth: usize) -> Config {
+        Config {
+            engine: Engine::PctReplay { seed, depth },
+            preemptions: None,
+            ..Config::default()
         }
     }
 }
@@ -95,14 +189,204 @@ pub struct Report {
     /// Number of distinct schedules executed.
     pub schedules: usize,
     /// True when the schedule tree was exhausted (within the preemption
-    /// bound); false when `max_schedules` cut exploration short.
+    /// bound); false when `max_schedules` cut exploration short, and
+    /// always false for the sampling PCT engines.
     pub complete: bool,
+    /// Sibling subtrees the DPOR engine skipped as redundant (0 for the
+    /// other engines): unexplored scheduling alternatives proven
+    /// equivalent to an explored interleaving, counted once per skipped
+    /// branch point, not per schedule underneath it.
+    pub pruned: usize,
+    /// Distinct dependence classes (atomic locations written, plain
+    /// locations, mutexes, condvars, park tokens) the run touched.
+    pub dependence_classes: usize,
+    /// Maximum visible-operation depth over all executed schedules.
+    pub max_depth: usize,
 }
 
-/// Consecutive stale reads of one location a thread may perform before
-/// the eventual-visibility rule forces it onto the newest visible store
-/// (see `op_atomic_load`).
-const STALE_READ_BOUND: u32 = 2;
+/// The kind of visible operation a step performs, at the granularity the
+/// dependence relation needs. Recorded per step so the DPOR engine can
+/// decide which pairs of transitions could have changed the outcome by
+/// swapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Access {
+    /// Atomic load; `sc` marks SeqCst (participates in the global SC
+    /// order, hence dependent with every other SC access).
+    AtomicLoad {
+        /// Location address.
+        addr: usize,
+        /// SeqCst?
+        sc: bool,
+    },
+    /// Atomic store, RMW, or CAS (anything that may append to the store
+    /// history; classified as a write conservatively).
+    AtomicStore {
+        /// Location address.
+        addr: usize,
+        /// SeqCst?
+        sc: bool,
+    },
+    /// A fence. Non-SC fences only order the issuing thread's own
+    /// accesses (which are steps themselves), so they are independent of
+    /// everything; SC fences join the global SC clock.
+    Fence {
+        /// SeqCst?
+        sc: bool,
+    },
+    /// Plain (non-atomic) read reported to the race detector.
+    PlainRead {
+        /// Location address.
+        addr: usize,
+    },
+    /// Plain (non-atomic) write reported to the race detector.
+    PlainWrite {
+        /// Location address.
+        addr: usize,
+    },
+    /// Any model-mutex operation (lock/try_lock/unlock) on one mutex.
+    Mutex {
+        /// Mutex address.
+        addr: usize,
+    },
+    /// Condvar wait (atomically unlocks and relocks `mutex`).
+    CondvarWait {
+        /// Condvar address.
+        cv: usize,
+        /// The mutex released/reacquired around the wait.
+        mutex: usize,
+    },
+    /// Condvar notify (one or all).
+    CondvarNotify {
+        /// Condvar address.
+        cv: usize,
+    },
+    /// `thread::park` (the parking thread is the step's tid).
+    Park,
+    /// `unpark(target)`.
+    Unpark {
+        /// The parked-or-parking thread being woken.
+        target: usize,
+    },
+    /// Thread spawn (dependent with other spawns: child ids are
+    /// allocated in program order).
+    Spawn,
+    /// Join: synchronizes via blocking, independent as a transition.
+    Join,
+}
+
+impl Access {
+    /// True when swapping two adjacent steps with these accesses (by
+    /// different threads) could change the execution's outcome. The
+    /// relation is symmetric and over-approximate: marking an
+    /// independent pair dependent only costs pruning, never soundness.
+    pub(crate) fn dependent(a_tid: usize, a: Access, b_tid: usize, b: Access) -> bool {
+        use Access::*;
+        if a_tid == b_tid {
+            // Program order already fixes same-thread steps.
+            return false;
+        }
+        // Every SC access participates in the single global SC order.
+        let sc_of = |x: Access| match x {
+            AtomicLoad { sc, .. } | AtomicStore { sc, .. } | Fence { sc } => sc,
+            _ => false,
+        };
+        if sc_of(a) && sc_of(b) {
+            return true;
+        }
+        match (a, b) {
+            (AtomicStore { addr: x, .. }, AtomicStore { addr: y, .. })
+            | (AtomicStore { addr: x, .. }, AtomicLoad { addr: y, .. })
+            | (AtomicLoad { addr: x, .. }, AtomicStore { addr: y, .. }) => x == y,
+            (PlainWrite { addr: x }, PlainWrite { addr: y })
+            | (PlainWrite { addr: x }, PlainRead { addr: y })
+            | (PlainRead { addr: x }, PlainWrite { addr: y }) => x == y,
+            (Mutex { addr: x }, Mutex { addr: y }) => x == y,
+            (CondvarWait { cv: x, .. }, CondvarWait { cv: y, .. })
+            | (CondvarWait { cv: x, .. }, CondvarNotify { cv: y })
+            | (CondvarNotify { cv: x }, CondvarWait { cv: y, .. })
+            | (CondvarNotify { cv: x }, CondvarNotify { cv: y }) => x == y,
+            (CondvarWait { mutex: x, .. }, Mutex { addr: y })
+            | (Mutex { addr: x }, CondvarWait { mutex: y, .. }) => x == y,
+            (Park, Unpark { target }) => target == a_tid,
+            (Unpark { target }, Park) => target == b_tid,
+            (Unpark { target: x }, Unpark { target: y }) => x == y,
+            (Spawn, Spawn) => true,
+            _ => false,
+        }
+    }
+
+    /// The dependence class this access belongs to, for the stats
+    /// report; `None` for accesses independent of everything.
+    pub(crate) fn class(self, tid: usize) -> Option<(u8, usize)> {
+        use Access::*;
+        match self {
+            AtomicLoad { addr, .. } | AtomicStore { addr, .. } => Some((0, addr)),
+            PlainRead { addr } | PlainWrite { addr } => Some((1, addr)),
+            Mutex { addr } => Some((2, addr)),
+            CondvarWait { cv, .. } | CondvarNotify { cv } => Some((3, cv)),
+            Park => Some((4, tid)),
+            Unpark { target } => Some((4, target)),
+            Fence { sc: true } => Some((5, 0)),
+            Spawn => Some((6, 0)),
+            Fence { sc: false } | Join => None,
+        }
+    }
+}
+
+/// What kind of decision a recorded decision point was.
+#[derive(Clone, Debug)]
+pub(crate) enum DecisionKind {
+    /// A yield-point scheduling decision: the DPOR-backtrackable kind.
+    /// `cands` is the candidate thread per choice index.
+    SchedFree {
+        /// Candidate tids, in choice order (current thread first).
+        cands: Vec<usize>,
+    },
+    /// A forced scheduling decision (the current thread blocked or
+    /// finished; *someone* else must run). Explored exhaustively by
+    /// every engine — wake/acquisition order is decided here.
+    SchedForced,
+    /// A weak-memory value decision (which store a load observes).
+    /// Explored exhaustively by the exhaustive engines.
+    Value,
+}
+
+/// One recorded decision of an execution.
+#[derive(Clone, Debug)]
+pub(crate) struct DecisionRec {
+    pub(crate) kind: DecisionKind,
+    pub(crate) chosen: usize,
+    pub(crate) arity: usize,
+}
+
+/// One visible operation (transition) of an execution, as the DPOR
+/// analysis sees it.
+#[derive(Clone, Debug)]
+pub(crate) struct StepRec {
+    /// Executing thread.
+    pub(crate) tid: usize,
+    /// What the operation touches.
+    pub(crate) access: Access,
+    /// The thread's clock *before* the op's own synchronization joins
+    /// (after the program-order bump), so `stamp_i <= clock_j[tid_i]`
+    /// witnesses happens-before through intermediate steps only.
+    pub(crate) clock: VClock,
+    /// `clock[tid]` — this step's own timestamp.
+    pub(crate) stamp: u32,
+    /// Index of the [`DecisionKind::SchedFree`] decision that scheduled
+    /// this op, or `usize::MAX` when it was forced/unrecorded.
+    pub(crate) sched: usize,
+    /// Number of decisions recorded before this step executed.
+    pub(crate) ndecisions: usize,
+}
+
+/// Everything one execution leaves behind for its engine.
+pub(crate) struct RunOutcome {
+    pub(crate) decisions: Vec<DecisionRec>,
+    pub(crate) steps: Vec<StepRec>,
+    pub(crate) schedule: Vec<usize>,
+    pub(crate) failure: Option<String>,
+}
 
 /// Panic payload used to tear down model threads once a failure is
 /// recorded. Filtered out of the default panic hook so aborts are quiet.
@@ -203,16 +487,68 @@ struct ThreadState {
     stale_reads: HashMap<usize, u32>,
 }
 
+/// What picks the next branch at each decision point of one execution.
+pub(crate) enum Chooser {
+    /// Replays a recorded decision prefix and extends it with
+    /// first-choice defaults (the DFS and DPOR engines).
+    Replay(Vec<usize>),
+    /// Priority-based randomized scheduling (the PCT engines).
+    Pct(crate::pct::PctState),
+}
+
+impl Chooser {
+    /// Picks a choice index in `0..n` for decision number `idx`;
+    /// `cands` holds the candidate tids for scheduling decisions.
+    /// Returns the choice plus an error message on nondeterministic
+    /// replay.
+    fn pick(&mut self, idx: usize, n: usize, cands: Option<&[usize]>) -> (usize, Option<String>) {
+        match self {
+            Chooser::Replay(replay) => {
+                if idx < replay.len() {
+                    let c = replay[idx];
+                    if c >= n {
+                        // The program behaved differently on replay; that
+                        // means user code consulted a source of
+                        // nondeterminism outside the model (time,
+                        // randomness, map iteration order).
+                        (
+                            0,
+                            Some(format!(
+                                "nondeterministic replay: decision {idx} has arity {n} but \
+                                 the recorded choice was {c}; model code must not depend on \
+                                 time, randomness, or hash-map iteration order"
+                            )),
+                        )
+                    } else {
+                        (c, None)
+                    }
+                } else {
+                    (0, None)
+                }
+            }
+            Chooser::Pct(p) => match cands {
+                Some(cands) => (p.pick_sched(cands), None),
+                None => (p.pick_value(n), None),
+            },
+        }
+    }
+}
+
 pub(crate) struct ExecInner {
     threads: Vec<ThreadState>,
     /// Clock of each finished thread (joined by joiners).
     finished: Vec<Option<VClock>>,
     /// Index of the Active thread.
     active: usize,
-    /// Decisions to replay, from the enumerator.
-    replay: Vec<usize>,
-    /// Decisions actually taken this execution: (choice, arity).
-    trace: Vec<(usize, usize)>,
+    /// The engine-provided decision source.
+    chooser: Chooser,
+    /// Decisions actually taken this execution.
+    decisions: Vec<DecisionRec>,
+    /// Visible operations executed, in order (the DPOR trace).
+    steps_log: Vec<StepRec>,
+    /// Index of the last free scheduling decision whose chosen thread
+    /// has not yet executed its op (consumed by the next step record).
+    pending_sched: Option<usize>,
     /// Visible-op counter (livelock bound).
     steps: usize,
     /// Involuntary context switches so far.
@@ -262,35 +598,64 @@ pub(crate) fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
 }
 
 impl ExecInner {
-    /// Makes (or replays) a scheduling/value decision among `n` options.
-    /// Single-option decisions are not recorded.
-    fn choose(&mut self, n: usize) -> usize {
+    /// Makes (or replays) a scheduling decision among candidate threads.
+    /// `free` marks yield-point decisions — the kind the DPOR engine may
+    /// backtrack; forced decisions (block/finish) are explored
+    /// exhaustively instead. Single-candidate decisions are not
+    /// recorded.
+    fn choose_sched(&mut self, cands: &[usize], free: bool) -> usize {
+        debug_assert!(!cands.is_empty());
+        if cands.len() == 1 {
+            // No branch, nothing recorded. A *forced* handoff still
+            // clears `pending_sched`: the chosen thread resumes inside
+            // an op whose step was already recorded, so its next fresh
+            // step must not bind to a stale free decision.
+            if !free {
+                self.pending_sched = None;
+            }
+            return 0;
+        }
+        let idx = self.decisions.len();
+        let (chosen, err) = self.chooser.pick(idx, cands.len(), Some(cands));
+        if let Some(msg) = err {
+            if self.failure.is_none() {
+                self.failure = Some(msg);
+            }
+        }
+        self.decisions.push(DecisionRec {
+            kind: if free {
+                DecisionKind::SchedFree {
+                    cands: cands.to_vec(),
+                }
+            } else {
+                DecisionKind::SchedForced
+            },
+            chosen,
+            arity: cands.len(),
+        });
+        self.pending_sched = if free { Some(idx) } else { None };
+        chosen
+    }
+
+    /// Makes (or replays) a weak-memory value decision among `n`
+    /// observable stores. Single-option decisions are not recorded.
+    fn choose_value(&mut self, n: usize) -> usize {
         debug_assert!(n >= 1);
         if n == 1 {
             return 0;
         }
-        let idx = self.trace.len();
-        let chosen = if idx < self.replay.len() {
-            let c = self.replay[idx];
-            if c >= n {
-                // The program behaved differently on replay; that means
-                // user code consulted a source of nondeterminism outside
-                // the model (time, randomness, map iteration order).
-                if self.failure.is_none() {
-                    self.failure = Some(format!(
-                        "nondeterministic replay: decision {idx} has arity {n} but \
-                         the recorded choice was {c}; model code must not depend on \
-                         time, randomness, or hash-map iteration order"
-                    ));
-                }
-                0
-            } else {
-                c
+        let idx = self.decisions.len();
+        let (chosen, err) = self.chooser.pick(idx, n, None);
+        if let Some(msg) = err {
+            if self.failure.is_none() {
+                self.failure = Some(msg);
             }
-        } else {
-            0
-        };
-        self.trace.push((chosen, n));
+        }
+        self.decisions.push(DecisionRec {
+            kind: DecisionKind::Value,
+            chosen,
+            arity: n,
+        });
         chosen
     }
 
@@ -374,7 +739,7 @@ impl ExecInner {
 }
 
 impl Exec {
-    pub(crate) fn new(config: Config, replay: Vec<usize>) -> Exec {
+    pub(crate) fn new(config: Config, chooser: Chooser) -> Exec {
         let main = ThreadState {
             run: Run::Active,
             name: "main".to_string(),
@@ -392,8 +757,10 @@ impl Exec {
                 threads: vec![main],
                 finished: vec![None],
                 active: 0,
-                replay,
-                trace: Vec::new(),
+                chooser,
+                decisions: Vec::new(),
+                steps_log: Vec::new(),
+                pending_sched: None,
                 steps: 0,
                 preemptions: 0,
                 locations: HashMap::new(),
@@ -435,7 +802,7 @@ impl Exec {
         debug_assert_eq!(g.active, tid, "yield_point from non-active thread");
         let cands = g.candidates(tid, true);
         debug_assert!(!cands.is_empty());
-        let pick = g.choose(cands.len());
+        let pick = g.choose_sched(&cands, true);
         let chosen = cands[pick];
         if chosen != tid {
             if !g.threads[tid].yielded {
@@ -471,7 +838,7 @@ impl Exec {
             let msg = format!("deadlock: {}", g.describe_blocked());
             self.fail(g, msg);
         }
-        let pick = g.choose(cands.len());
+        let pick = g.choose_sched(&cands, false);
         let chosen = cands[pick];
         g.threads[chosen].run = Run::Active;
         g.active = chosen;
@@ -490,8 +857,8 @@ impl Exec {
     }
 
     /// Entry point of every visible op: yield, then bump clocks/step
-    /// counters under the lock.
-    fn prologue(&self, tid: usize) -> Guard<'_> {
+    /// counters and record the transition under the lock.
+    fn prologue(&self, tid: usize, access: Access) -> Guard<'_> {
         self.yield_point(tid);
         let mut g = self.lock();
         if g.failure.is_some() {
@@ -511,13 +878,35 @@ impl Exec {
             );
         }
         g.threads[tid].clock.bump(tid);
+        // PCT priority-change points count executed transitions.
+        if let Chooser::Pct(p) = &mut g.chooser {
+            p.on_step(tid);
+        }
+        let clock = g.threads[tid].clock.clone();
+        let stamp = clock.get(tid);
+        let sched = g.pending_sched.take().unwrap_or(usize::MAX);
+        let ndecisions = g.decisions.len();
+        g.steps_log.push(StepRec {
+            tid,
+            access,
+            clock,
+            stamp,
+            sched,
+            ndecisions,
+        });
         g
     }
 
     // ---- atomics ------------------------------------------------------
 
     pub(crate) fn op_atomic_load(&self, tid: usize, addr: usize, ord: Ordering, init: u64) -> u64 {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(
+            tid,
+            Access::AtomicLoad {
+                addr,
+                sc: ord == Ordering::SeqCst,
+            },
+        );
         if ord == Ordering::SeqCst {
             g.sc_join(tid);
         }
@@ -547,17 +936,19 @@ impl Exec {
         // Eventual visibility: C11 alone lets a load re-read the same
         // stale store unboundedly, which turns every polling loop into a
         // fake livelock under exhaustive exploration. Hardware propagates
-        // stores in finite time, so after STALE_READ_BOUND consecutive
-        // stale reads of a location the thread is forced onto the newest
-        // visible store. Single stale observations — the shape of real
-        // fence-omission bugs like the PR 1 lost wakeup — stay explored.
+        // stores in finite time, so after `Config::stale_read_bound`
+        // consecutive stale reads of a location the thread is forced
+        // onto the newest visible store. Single stale observations — the
+        // shape of real fence-omission bugs like the PR 1 lost wakeup —
+        // stay explored.
         let newest = cands[0].seq;
         if cands.len() > 1
-            && g.threads[tid].stale_reads.get(&addr).copied().unwrap_or(0) >= STALE_READ_BOUND
+            && g.threads[tid].stale_reads.get(&addr).copied().unwrap_or(0)
+                >= g.config.stale_read_bound
         {
             cands.truncate(1);
         }
-        let pick = g.choose(cands.len());
+        let pick = g.choose_value(cands.len());
         let st = cands.swap_remove(pick);
         if st.seq < newest {
             *g.threads[tid].stale_reads.entry(addr).or_insert(0) += 1;
@@ -581,7 +972,13 @@ impl Exec {
         init: u64,
         val: u64,
     ) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(
+            tid,
+            Access::AtomicStore {
+                addr,
+                sc: ord == Ordering::SeqCst,
+            },
+        );
         if ord == Ordering::SeqCst {
             g.sc_join(tid);
         }
@@ -615,7 +1012,13 @@ impl Exec {
         init: u64,
         f: &mut dyn FnMut(u64) -> u64,
     ) -> u64 {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(
+            tid,
+            Access::AtomicStore {
+                addr,
+                sc: ord == Ordering::SeqCst,
+            },
+        );
         if ord == Ordering::SeqCst {
             g.sc_join(tid);
         }
@@ -660,7 +1063,13 @@ impl Exec {
         expected: u64,
         new: u64,
     ) -> Result<u64, u64> {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(
+            tid,
+            Access::AtomicStore {
+                addr,
+                sc: success == Ordering::SeqCst || failure == Ordering::SeqCst,
+            },
+        );
         if success == Ordering::SeqCst || failure == Ordering::SeqCst {
             g.sc_join(tid);
         }
@@ -702,7 +1111,12 @@ impl Exec {
     }
 
     pub(crate) fn op_fence(&self, tid: usize, ord: Ordering) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(
+            tid,
+            Access::Fence {
+                sc: ord == Ordering::SeqCst,
+            },
+        );
         if is_acquire(ord) {
             let fa = g.threads[tid].fence_acq.clone();
             g.threads[tid].clock.join(&fa);
@@ -718,7 +1132,7 @@ impl Exec {
     // ---- plain memory (race detector) ---------------------------------
 
     pub(crate) fn op_plain_read(&self, tid: usize, addr: usize, what: &str) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::PlainRead { addr });
         let clock = g.threads[tid].clock.clone();
         let writer = g.plain.get(&addr).and_then(|m| m.writer);
         if let Some((wt, ws)) = writer {
@@ -743,7 +1157,7 @@ impl Exec {
     }
 
     pub(crate) fn op_plain_write(&self, tid: usize, addr: usize, what: &str) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::PlainWrite { addr });
         let clock = g.threads[tid].clock.clone();
         let writer = g.plain.get(&addr).and_then(|m| m.writer);
         if let Some((wt, ws)) = writer {
@@ -784,7 +1198,7 @@ impl Exec {
     // ---- mutex / condvar ----------------------------------------------
 
     pub(crate) fn op_mutex_lock(&self, tid: usize, addr: usize) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::Mutex { addr });
         loop {
             let m = g.mutexes.entry(addr).or_default();
             match m.locked_by {
@@ -806,7 +1220,7 @@ impl Exec {
     }
 
     pub(crate) fn op_mutex_try_lock(&self, tid: usize, addr: usize) -> bool {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::Mutex { addr });
         let m = g.mutexes.entry(addr).or_default();
         if m.locked_by.is_none() {
             m.locked_by = Some(tid);
@@ -819,7 +1233,7 @@ impl Exec {
     }
 
     pub(crate) fn op_mutex_unlock(&self, tid: usize, addr: usize) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::Mutex { addr });
         self.unlock_inner(&mut g, tid, addr);
     }
 
@@ -839,7 +1253,13 @@ impl Exec {
     /// Condvar wait: atomically releases the mutex, blocks until
     /// notified, then reacquires.
     pub(crate) fn op_condvar_wait(&self, tid: usize, cv_addr: usize, mutex_addr: usize) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(
+            tid,
+            Access::CondvarWait {
+                cv: cv_addr,
+                mutex: mutex_addr,
+            },
+        );
         self.unlock_inner(&mut g, tid, mutex_addr);
         g = self.block_on(g, tid, Block::Condvar(cv_addr));
         // Reacquire (possibly blocking again on Mutex).
@@ -856,7 +1276,7 @@ impl Exec {
     }
 
     pub(crate) fn op_condvar_notify(&self, tid: usize, cv_addr: usize, all: bool) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::CondvarNotify { cv: cv_addr });
         let clock = g.threads[tid].clock.clone();
         // Waiters resynchronize through the mutex they reacquire, but the
         // notify edge itself also transfers the notifier's clock.
@@ -877,7 +1297,7 @@ impl Exec {
     /// lost wakeup becomes a detectable deadlock instead of a silent
     /// 10ms stall).
     pub(crate) fn op_park(&self, tid: usize) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::Park);
         if !g.threads[tid].park_token {
             g = self.block_on(g, tid, Block::Park);
         }
@@ -888,7 +1308,7 @@ impl Exec {
     }
 
     pub(crate) fn op_unpark(&self, tid: usize, target: usize) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::Unpark { target });
         let clock = g.threads[tid].clock.clone();
         let t = &mut g.threads[target];
         t.park_clock.join(&clock);
@@ -926,7 +1346,7 @@ impl Exec {
     /// Allocates a child thread id (the caller then spawns the OS
     /// thread). The spawn edge transfers the parent's clock.
     pub(crate) fn op_spawn(&self, tid: usize) -> usize {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::Spawn);
         if g.threads.len() >= g.config.max_threads {
             let max = g.config.max_threads;
             self.fail(g, format!("model thread limit exceeded ({max})"));
@@ -948,6 +1368,10 @@ impl Exec {
             stale_reads: HashMap::new(),
         });
         g.finished.push(None);
+        // PCT assigns each thread a random high priority at spawn.
+        if let Chooser::Pct(p) = &mut g.chooser {
+            p.on_spawn(child);
+        }
         child
     }
 
@@ -967,7 +1391,7 @@ impl Exec {
     }
 
     pub(crate) fn op_join(&self, tid: usize, target: usize) {
-        let mut g = self.prologue(tid);
+        let mut g = self.prologue(tid, Access::Join);
         while g.threads[target].run != Run::Finished {
             g = self.block_on(g, tid, Block::Join(target));
         }
@@ -1011,7 +1435,7 @@ impl Exec {
             }
             // else: every thread finished; nothing left to schedule.
         } else {
-            let pick = g.choose(cands.len());
+            let pick = g.choose_sched(&cands, false);
             let chosen = cands[pick];
             g.threads[chosen].run = Run::Active;
             g.active = chosen;
@@ -1107,15 +1531,72 @@ fn install_panic_filter() {
 
 /// Computes the next replay prefix: backtracks the deepest decision with
 /// an unexplored alternative. Returns `None` when the tree is exhausted.
-fn next_replay(trace: &[(usize, usize)]) -> Option<Vec<usize>> {
-    for (i, &(chosen, arity)) in trace.iter().enumerate().rev() {
-        if chosen + 1 < arity {
-            let mut replay: Vec<usize> = trace[..i].iter().map(|d| d.0).collect();
-            replay.push(chosen + 1);
+fn next_replay(trace: &[DecisionRec]) -> Option<Vec<usize>> {
+    for (i, d) in trace.iter().enumerate().rev() {
+        if d.chosen + 1 < d.arity {
+            let mut replay: Vec<usize> = trace[..i].iter().map(|d| d.chosen).collect();
+            replay.push(d.chosen + 1);
             return Some(replay);
         }
     }
     None
+}
+
+/// Runs one execution of `f` under `chooser` and collects what the
+/// engine needs: the decision trace, the step log, and any failure.
+pub(crate) fn run_one<F>(config: &Config, chooser: Chooser, f: &F) -> RunOutcome
+where
+    F: Fn() + Sync,
+{
+    let exec = Arc::new(Exec::new(config.clone(), chooser));
+    set_current(Some((exec.clone(), 0)));
+    let body = panic::catch_unwind(AssertUnwindSafe(f));
+    match body {
+        Ok(()) => {
+            // Let remaining threads run; catches deadlocks among them.
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| exec.drain_main()));
+        }
+        Err(p) => exec.record_main_panic(p.as_ref()),
+    }
+    set_current(None);
+    exec.join_os_threads();
+    let mut g = exec.lock();
+    RunOutcome {
+        schedule: g.decisions.iter().map(|d| d.chosen).collect(),
+        decisions: std::mem::take(&mut g.decisions),
+        steps: std::mem::take(&mut g.steps_log),
+        failure: g.failure.take(),
+    }
+}
+
+/// The original engine: exhaustive DFS over the decision tree.
+fn dfs_explore<F>(config: &Config, f: &F, acc: &mut crate::stats::Acc) -> Result<Report, ModelError>
+where
+    F: Fn() + Sync,
+{
+    let mut replay: Vec<usize> = Vec::new();
+    let mut complete = true;
+    loop {
+        if acc.schedules >= config.max_schedules {
+            complete = false;
+            break;
+        }
+        acc.schedules += 1;
+        let out = run_one(config, Chooser::Replay(replay.clone()), f);
+        acc.absorb(&out);
+        if let Some(msg) = out.failure {
+            return Err(ModelError {
+                message: msg,
+                schedule: out.schedule,
+                schedules_explored: acc.schedules,
+            });
+        }
+        match next_replay(&out.decisions) {
+            Some(r) => replay = r,
+            None => break,
+        }
+    }
+    Ok(acc.report(complete))
 }
 
 // ---- public entry points ------------------------------------------------
@@ -1131,46 +1612,15 @@ where
         "model() must not be nested inside a model execution"
     );
     install_panic_filter();
-    let mut replay: Vec<usize> = Vec::new();
-    let mut schedules = 0usize;
-    let mut complete = true;
-    loop {
-        if schedules >= config.max_schedules {
-            complete = false;
-            break;
-        }
-        schedules += 1;
-        let exec = Arc::new(Exec::new(config.clone(), replay.clone()));
-        set_current(Some((exec.clone(), 0)));
-        let body = panic::catch_unwind(AssertUnwindSafe(&f));
-        match body {
-            Ok(()) => {
-                // Let remaining threads run; catches deadlocks among them.
-                let _ = panic::catch_unwind(AssertUnwindSafe(|| exec.drain_main()));
-            }
-            Err(p) => exec.record_main_panic(p.as_ref()),
-        }
-        set_current(None);
-        exec.join_os_threads();
-        let g = exec.lock();
-        if let Some(msg) = &g.failure {
-            return Err(ModelError {
-                message: msg.clone(),
-                schedule: g.trace.iter().map(|d| d.0).collect(),
-                schedules_explored: schedules,
-            });
-        }
-        let trace = g.trace.clone();
-        drop(g);
-        match next_replay(&trace) {
-            Some(r) => replay = r,
-            None => break,
-        }
-    }
-    Ok(Report {
-        schedules,
-        complete,
-    })
+    let engine = config.engine.name();
+    let mut acc = crate::stats::Acc::default();
+    let result = match config.engine {
+        Engine::Dfs => dfs_explore(&config, &f, &mut acc),
+        Engine::Dpor => crate::dpor::explore(&config, &f, &mut acc),
+        Engine::Pct { .. } | Engine::PctReplay { .. } => crate::pct::explore(&config, &f, &mut acc),
+    };
+    crate::stats::record(engine, &acc, &result);
+    result
 }
 
 /// [`try_model_with`] with the default [`Config`].

@@ -12,9 +12,12 @@
 //!
 //! - **Schedules.** Threads are real OS threads, but exactly one runs
 //!   at a time; before every visible operation the scheduler may hand
-//!   the baton to another runnable thread. The enumerator walks the
-//!   decision tree depth-first with a CHESS-style preemption bound
-//!   ([`Config::preemptions`]) and yield-exclusion for spin loops.
+//!   the baton to another runnable thread. The default enumerator walks
+//!   the decision tree depth-first with a CHESS-style preemption bound
+//!   ([`Config::preemptions`]) and yield-exclusion for spin loops; the
+//!   [`Engine::Dpor`] engine prunes schedules that only reorder
+//!   independent operations, and [`Engine::Pct`] samples seeded
+//!   randomized priority schedules for depths exhaustion cannot reach.
 //! - **Weak memory.** Stores are kept per-location with vector-clock
 //!   metadata; a load *chooses* among the stores it may legally observe,
 //!   so a `Relaxed` load really can return a stale value in some
@@ -53,7 +56,10 @@
 #![deny(missing_docs)]
 
 mod clock;
+mod dpor;
 mod exec;
+mod pct;
+mod stats;
 
 pub mod cell;
 pub mod sync;
@@ -61,5 +67,5 @@ pub mod thread;
 pub mod trace;
 
 pub use exec::{
-    in_model, model, model_with, try_model, try_model_with, Config, ModelError, Report,
+    in_model, model, model_with, try_model, try_model_with, Config, Engine, ModelError, Report,
 };

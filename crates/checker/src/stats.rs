@@ -1,0 +1,226 @@
+//! Exploration statistics: per-run accounting and the deterministic
+//! JSON report CI archives next to `lint_report.json`.
+//!
+//! Every `try_model_with` call accumulates schedule counts, DPOR
+//! pruning, the distinct dependence classes touched, and the maximum
+//! execution depth. When the `CILKM_CHECK_STATS` env var names a file,
+//! the run's summary is merged into it keyed by `(test, engine)`: the
+//! file is read, the entry replaced, and the whole report rewritten
+//! sorted, so the final contents are identical across runs regardless of
+//! test order (counts themselves are deterministic — DFS/DPOR by
+//! construction, PCT by its fixed seed).
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::{Mutex as OsMutex, OnceLock};
+
+use crate::exec::{ModelError, Report, RunOutcome};
+
+/// Running totals for one `try_model_with` call.
+#[derive(Default)]
+pub(crate) struct Acc {
+    /// Schedules executed so far.
+    pub(crate) schedules: usize,
+    /// DPOR: sibling subtrees skipped as redundant.
+    pub(crate) pruned: usize,
+    /// Distinct dependence classes seen across all executions.
+    pub(crate) classes: HashSet<(u8, usize)>,
+    /// Maximum visible-operation count of any single execution.
+    pub(crate) max_depth: usize,
+}
+
+impl Acc {
+    /// Folds one execution's outcome into the totals.
+    pub(crate) fn absorb(&mut self, out: &RunOutcome) {
+        for s in &out.steps {
+            if let Some(c) = s.access.class(s.tid) {
+                self.classes.insert(c);
+            }
+        }
+        self.max_depth = self.max_depth.max(out.steps.len());
+    }
+
+    /// The public [`Report`] for a passing run.
+    pub(crate) fn report(&self, complete: bool) -> Report {
+        Report {
+            schedules: self.schedules,
+            complete,
+            pruned: self.pruned,
+            dependence_classes: self.classes.len(),
+            max_depth: self.max_depth,
+        }
+    }
+}
+
+/// One line of the stats report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Entry {
+    verdict: String,
+    complete: bool,
+    schedules: usize,
+    pruned: usize,
+    dependence_classes: usize,
+    max_depth: usize,
+}
+
+fn sink() -> &'static OsMutex<()> {
+    static SINK: OnceLock<OsMutex<()>> = OnceLock::new();
+    SINK.get_or_init(|| OsMutex::new(()))
+}
+
+/// Minimal escaping for the only string we embed (test names: Rust
+/// paths, so this is belt-and-braces).
+fn escape(s: &str) -> String {
+    s.chars()
+        .filter(|c| !c.is_control())
+        .map(|c| match c {
+            '"' => '\''.to_string(),
+            '\\' => '/'.to_string(),
+            c => c.to_string(),
+        })
+        .collect()
+}
+
+fn entry_line(test: &str, engine: &str, e: &Entry) -> String {
+    format!(
+        "    {{\"test\":\"{}\",\"engine\":\"{}\",\"verdict\":\"{}\",\"complete\":{},\
+         \"schedules\":{},\"pruned\":{},\"dependence_classes\":{},\"max_depth\":{}}}",
+        escape(test),
+        engine,
+        e.verdict,
+        e.complete,
+        e.schedules,
+        e.pruned,
+        e.dependence_classes,
+        e.max_depth
+    )
+}
+
+/// Extracts `"key":` followed by a string or scalar from a one-line
+/// entry written by [`entry_line`]. Only parses our own output.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next()
+    }
+}
+
+fn parse_existing(src: &str) -> BTreeMap<(String, String), Entry> {
+    let mut map = BTreeMap::new();
+    for line in src.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"test\":") {
+            continue;
+        }
+        let (Some(test), Some(engine), Some(verdict)) = (
+            field(line, "test"),
+            field(line, "engine"),
+            field(line, "verdict"),
+        ) else {
+            continue;
+        };
+        let num = |k: &str| field(line, k).and_then(|v| v.parse::<usize>().ok());
+        let (Some(schedules), Some(pruned), Some(classes), Some(depth)) = (
+            num("schedules"),
+            num("pruned"),
+            num("dependence_classes"),
+            num("max_depth"),
+        ) else {
+            continue;
+        };
+        map.insert(
+            (test.to_string(), engine.to_string()),
+            Entry {
+                verdict: verdict.to_string(),
+                complete: field(line, "complete") == Some("true"),
+                schedules,
+                pruned,
+                dependence_classes: classes,
+                max_depth: depth,
+            },
+        );
+    }
+    map
+}
+
+fn render(map: &BTreeMap<(String, String), Entry>) -> String {
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"runs\": [\n");
+    let lines: Vec<String> = map
+        .iter()
+        .map(|((t, e), entry)| entry_line(t, e, entry))
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Records one finished model run into the `CILKM_CHECK_STATS` file (a
+/// no-op when the env var is unset). Keyed by the calling thread's name,
+/// which under `cargo test` is the test's path.
+pub(crate) fn record(engine: &'static str, acc: &Acc, result: &Result<Report, ModelError>) {
+    let Ok(path) = std::env::var("CILKM_CHECK_STATS") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let test = std::thread::current().name().unwrap_or("main").to_string();
+    let entry = Entry {
+        verdict: if result.is_ok() { "pass" } else { "fail" }.to_string(),
+        complete: matches!(result, Ok(r) if r.complete),
+        schedules: acc.schedules,
+        pruned: acc.pruned,
+        dependence_classes: acc.classes.len(),
+        max_depth: acc.max_depth,
+    };
+    let _g = sink().lock().unwrap_or_else(|e| e.into_inner());
+    let mut map = std::fs::read_to_string(&path)
+        .map(|s| parse_existing(&s))
+        .unwrap_or_default();
+    map.insert((test, engine.to_string()), entry);
+    // Best-effort: stats must never fail a model run.
+    let _ = std::fs::write(&path, render(&map));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(v: &str, n: usize) -> Entry {
+        Entry {
+            verdict: v.to_string(),
+            complete: true,
+            schedules: n,
+            pruned: 1,
+            dependence_classes: 2,
+            max_depth: 3,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut map = BTreeMap::new();
+        map.insert(("b::t1".to_string(), "dpor".to_string()), entry("pass", 10));
+        map.insert(("a::t2".to_string(), "dfs".to_string()), entry("fail", 7));
+        let text = render(&map);
+        let back = parse_existing(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back, map);
+        // Deterministic: re-render of the parse is byte-identical.
+        assert_eq!(render(&back), text);
+    }
+
+    #[test]
+    fn merge_replaces_same_key() {
+        let mut map = BTreeMap::new();
+        map.insert(("t".to_string(), "dpor".to_string()), entry("pass", 1));
+        let text = render(&map);
+        let mut back = parse_existing(&text);
+        back.insert(("t".to_string(), "dpor".to_string()), entry("pass", 9));
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.values().next().unwrap().schedules, 9);
+    }
+}

@@ -8,6 +8,13 @@
 //! happens-before edge anywhere in the handoff chain would surface as a
 //! data-race report, and a protocol bug as an assertion failure in some
 //! schedule.
+//!
+//! Since PR 7 these tests run under the sleep-set DPOR engine with the
+//! CHESS preemption bound *removed* (`Config::dpor()`): the reduction,
+//! not the bound, keeps the schedule count tractable, so coverage is
+//! genuinely exhaustive. The lock-free handoff test additionally runs a
+//! 10k-schedule seeded PCT sweep at a thread count the old bounded DFS
+//! could not reach.
 
 use std::sync::Arc;
 
@@ -57,7 +64,7 @@ fn read(page: usize, idx: usize, inst: &MonoidInstance, domain: &DomainInner) ->
 /// order, nothing dropped, nothing reduced twice.
 #[test]
 fn hypermerge_is_left_to_right_and_exact() {
-    checker::model(|| {
+    checker::model_with(checker::Config::dpor(), || {
         let domain = Arc::new(DomainInner::new(Backend::Mmap));
         let monoid = Arc::new(Concat);
         // One shared instance, as in a real `Reducer`: its address is
@@ -102,7 +109,7 @@ fn hypermerge_is_left_to_right_and_exact() {
 /// once, at its own slot, unreduced.
 #[test]
 fn transferal_delivers_each_view_exactly_once() {
-    checker::model(|| {
+    checker::model_with(checker::Config::dpor(), || {
         let domain = Arc::new(DomainInner::new(Backend::Mmap));
         let monoid = Arc::new(Concat);
         let inst = Arc::new(MonoidInstance::new(&monoid));
@@ -148,10 +155,15 @@ fn transferal_delivers_each_view_exactly_once() {
 /// neither lose a view nor fold one twice, in any interleaving and
 /// under any allowed weak-memory read. Depending on the schedule each
 /// thief folds inline or parks, so both branches are explored.
+///
+/// Exhaustive at *unbounded* preemption depth under DPOR — the old DFS
+/// engine needed `preemptions: Some(3)` to terminate here. The
+/// three-thief scale-up rides on the seeded PCT sweep below, where the
+/// CAS-loop interleaving space outgrows exhaustion.
 #[test]
 fn pending_pushes_race_owner_drain_without_loss() {
     use crate::library::SumMonoid;
-    checker::model(|| {
+    checker::model_with(checker::Config::dpor(), || {
         let domain = Arc::new(DomainInner::new(Backend::Mmap));
         let monoid = Arc::new(SumMonoid::<u64>::new());
         let inst = Arc::new(MonoidInstance::new(&monoid));
@@ -194,6 +206,58 @@ fn pending_pushes_race_owner_drain_without_loss() {
     });
 }
 
+/// The push/drain handoff scaled up to *three* concurrent thieves — a
+/// thread count no exhaustive engine here reaches — under 10,000 seeded
+/// PCT schedules with
+/// unbounded preemption depth — randomized coverage beyond what even
+/// DPOR visits in one CI run. Seed fixed: deterministic, and any future
+/// failure prints its own `CILKM_CHECK_SEED` reproducer.
+#[test]
+fn pending_pushes_survive_seeded_pct_sweep() {
+    use crate::library::SumMonoid;
+    let report = checker::try_model_with(checker::Config::pct(0xC11F_0007, 3, 10_000), || {
+        let domain = Arc::new(DomainInner::new(Backend::Mmap));
+        let monoid = Arc::new(SumMonoid::<u64>::new());
+        let inst = Arc::new(MonoidInstance::new(&monoid));
+        let slot = domain.alloc_slot();
+        let leftmost = Box::into_raw(Box::new(1u64)) as *mut u8;
+        domain.register_leftmost(slot, leftmost, inst.as_erased());
+
+        let mut thieves = Vec::new();
+        for add in [2u64, 4, 8] {
+            let (d, m, i) = (Arc::clone(&domain), Arc::clone(&monoid), Arc::clone(&inst));
+            thieves.push(checker::thread::spawn(move || {
+                let _keep_alive = (m, i);
+                let v = Box::into_raw(Box::new(add)) as *mut u8;
+                // SAFETY: live boxed u64 view of the registered
+                // SumMonoid; the reducer outlives this handoff (main
+                // joins before unregistering).
+                unsafe { d.fold_or_park(slot, v) };
+            }));
+        }
+        {
+            let _borrow = domain.serial_user(slot);
+            // SAFETY: serial word held; slot registered.
+            unsafe { domain.drain_pending_slot(slot) };
+        }
+        for t in thieves {
+            t.join().unwrap();
+        }
+        let total = {
+            let _borrow = domain.serial_user(slot);
+            // SAFETY: serial word held; slot registered.
+            unsafe { domain.drain_pending_slot(slot) };
+            let v = domain.unregister_leftmost(slot).unwrap();
+            // SAFETY: sole remaining pointer after unregister.
+            unsafe { *Box::from_raw(v as *mut u64) }
+        };
+        assert_eq!(total, 15, "1 + 2 + 4 + 8: every view folded exactly once");
+        domain.free_slot(slot);
+    })
+    .expect("lock-free handoff must survive the PCT sweep");
+    assert_eq!(report.schedules, 10_000);
+}
+
 /// Pushes from one thread (= serialized regions) with an idle drainer
 /// racing them: the fold must keep push order even when a drain lands
 /// between pushes — over a non-commutative monoid a second drainer
@@ -201,7 +265,7 @@ fn pending_pushes_race_owner_drain_without_loss() {
 /// lost or doubled view as a missing/repeated character.
 #[test]
 fn racing_idle_drain_preserves_serial_fold_order() {
-    checker::model(|| {
+    checker::model_with(checker::Config::dpor(), || {
         let domain = Arc::new(DomainInner::new(Backend::Mmap));
         let monoid = Arc::new(Concat);
         let inst = Arc::new(MonoidInstance::new(&monoid));
@@ -255,7 +319,14 @@ unsafe fn free_model_node(p: *mut u8) {
 #[test]
 fn hazard_era_pin_prevents_use_after_retire() {
     use crate::reclaim::Collector;
-    checker::model(|| {
+    // Unbounded preemptions; the era protocol's CAS loops leave too many
+    // genuinely dependent interleavings for full exhaustion, so cap the
+    // budget — still ~25x the coverage the old bounded DFS run had.
+    let config = checker::Config {
+        max_schedules: 25_000,
+        ..checker::Config::dpor()
+    };
+    checker::model_with(config, || {
         let collector = Arc::new(Collector::new());
         let published = Arc::new(checker::sync::atomic::AtomicPtr::new(Box::into_raw(
             Box::new(42u64),
@@ -284,4 +355,43 @@ fn hazard_era_pin_prevents_use_after_retire() {
         // Collector drop frees anything the sweep had to keep; ordered
         // after the reader by the join edge, so never racy.
     });
+}
+
+/// Negative control for the collector test: a reader that skips the pin
+/// really does race the retirer's free, and DPOR (with the preemption
+/// bound removed) must still reach the schedule that exhibits it — the
+/// use-after-retire seeded-bug check from the acceptance criteria.
+#[test]
+fn unpinned_reader_races_retirer() {
+    use crate::reclaim::Collector;
+    let err = checker::try_model_with(checker::Config::dpor(), || {
+        let collector = Arc::new(Collector::new());
+        let published = Arc::new(checker::sync::atomic::AtomicPtr::new(Box::into_raw(
+            Box::new(42u64),
+        )));
+        let p2 = Arc::clone(&published);
+        let reader = checker::thread::spawn(move || {
+            // BUG (intentional): no `pin()` guard, so nothing holds the
+            // era back while we dereference.
+            let p = p2.load(checker::sync::atomic::Ordering::Acquire);
+            if !p.is_null() {
+                checker::trace::note_read(p as usize, "pooled-node");
+            }
+        });
+        let p = published.swap(
+            std::ptr::null_mut(),
+            checker::sync::atomic::Ordering::AcqRel,
+        );
+        // SAFETY: the swap unlinked `p`; it is retired exactly once and
+        // valid for `free_model_node`.
+        unsafe { collector.retire(p as *mut u8, free_model_node) };
+        collector.sweep();
+        reader.join().unwrap();
+    })
+    .expect_err("an unpinned dereference must race the collector's free");
+    assert!(
+        err.message.contains("data race"),
+        "unexpected failure: {}",
+        err.message
+    );
 }

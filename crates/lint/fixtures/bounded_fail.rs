@@ -1,0 +1,20 @@
+//! bounded-model fail fixture: silent coverage regressions in a model
+//! test file — a re-tightened preemption bound and an unexplained
+//! `#[ignore]`.
+
+use cilkm_checker as checker;
+
+#[test]
+fn quietly_rebounded_test() {
+    let config = checker::Config {
+        preemptions: Some(2),
+        ..checker::Config::default()
+    };
+    checker::model_with(config, || {});
+}
+
+#[ignore]
+#[test]
+fn quietly_disabled_test() {
+    checker::model(|| {});
+}

@@ -1,0 +1,29 @@
+//! bounded-model pass fixture: unbounded model tests, plus properly
+//! waived bounds where exhaustion genuinely cannot finish.
+
+use cilkm_checker as checker;
+
+#[test]
+fn protocol_is_exhaustively_checked() {
+    checker::model_with(checker::Config::dpor(), || {
+        // preemptions: None via Config::dpor() — unbounded is the default
+        // posture; nothing to waive.
+    });
+}
+
+#[test]
+fn cas_loop_protocol_is_bounded_with_cause() {
+    let config = checker::Config {
+        // lint: allow(bounded-model, CAS-loop interleavings outgrow exhaustion; the seeded PCT sweep covers the unbounded depths)
+        preemptions: Some(3),
+        ..checker::Config::default()
+    };
+    checker::model_with(config, || {});
+}
+
+// lint: allow(bounded-model, flaky under qemu; tracked for re-enable in CI issue 42)
+#[ignore]
+#[test]
+fn quarantined_model_test() {
+    checker::model(|| {});
+}

@@ -93,6 +93,7 @@ pub fn scan_file(
     rules::hotpath::check(&ctx, report);
     rules::cfgcheck::check(&ctx, krate, report);
     rules::unsafe_ledger::check(&ctx, report, ledger);
+    rules::bounded::check(&ctx, report);
     ctx.flag_unused_waivers(report);
 }
 

@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-/// The four rule families (see DESIGN.md §12).
+/// The five rule families (see DESIGN.md §12).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Facade integrity: raw `std::sync::atomic` / `Mutex` / `Condvar` /
@@ -24,6 +24,9 @@ pub enum Rule {
     /// Unsafe contracts: missing `// SAFETY:` rationale or a stale
     /// `UNSAFE_LEDGER.md`.
     UnsafeLedger,
+    /// Model-test coverage hygiene: `#[ignore]`d or
+    /// `preemptions: Some(_)`-bounded model tests without a waiver.
+    BoundedModel,
 }
 
 impl Rule {
@@ -34,6 +37,7 @@ impl Rule {
             Rule::HotPath => "hot-path",
             Rule::CfgFeature => "cfg-feature",
             Rule::UnsafeLedger => "unsafe-ledger",
+            Rule::BoundedModel => "bounded-model",
         }
     }
 
@@ -44,16 +48,18 @@ impl Rule {
             "hot-path" => Some(Rule::HotPath),
             "cfg-feature" => Some(Rule::CfgFeature),
             "unsafe-ledger" => Some(Rule::UnsafeLedger),
+            "bounded-model" => Some(Rule::BoundedModel),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::RawSync,
         Rule::HotPath,
         Rule::CfgFeature,
         Rule::UnsafeLedger,
+        Rule::BoundedModel,
     ];
 }
 

@@ -1,0 +1,79 @@
+//! Rule `bounded-model` — model-test coverage hygiene.
+//!
+//! PR 7 removed the CHESS preemption bound from the protocol model
+//! tests (DESIGN.md §14): under the DPOR engine the reduction, not the
+//! bound, keeps exploration tractable, so a bound is now a *coverage
+//! regression* — it silently re-hides exactly the deep interleavings
+//! the engine exists to reach. The two ways a test's coverage gets
+//! quietly tightened are writing `preemptions: Some(_)` back into its
+//! `Config` and `#[ignore]`-ing the test altogether. Both now require a
+//! justified waiver:
+//!
+//! ```text
+//! // lint: allow(bounded-model, CAS-loop space outgrows exhaustion; PCT sweep covers it)
+//! preemptions: Some(3),
+//! ```
+//!
+//! Scope: files that look like model tests — the path mentions `model`
+//! or the source touches `cilkm_checker` — excluding the checker's own
+//! `src/` (which *implements* `Config::preemptions` and legitimately
+//! names its bounded default).
+
+use crate::lexer::TokenKind;
+use crate::report::{Report, Rule};
+use crate::rules::{seq_matches, FileContext};
+
+/// True when this file is a model-test file this rule applies to.
+fn in_scope(ctx: &FileContext<'_>) -> bool {
+    if ctx.path.starts_with("crates/checker/src/") {
+        return false;
+    }
+    let name = ctx.path.rsplit('/').next().unwrap_or(ctx.path);
+    name.contains("model")
+        || ctx
+            .lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "cilkm_checker")
+}
+
+/// Scans one file.
+pub fn check(ctx: &FileContext<'_>, report: &mut Report) {
+    if !in_scope(ctx) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "preemptions" && seq_matches(toks, i, &["preemptions", ":", "Some"]) {
+            ctx.emit(
+                report,
+                Rule::BoundedModel,
+                t.line,
+                "model test bounds its schedule exploration with `preemptions: Some(_)`; \
+                 run unbounded under `Config::dpor()` or justify the bound with \
+                 `// lint: allow(bounded-model, <why the bound is still sound coverage>)`"
+                    .to_string(),
+            );
+        }
+        if t.text == "ignore"
+            && i >= 2
+            && toks[i - 1].text == "["
+            && toks[i - 2].text == "#"
+            && toks.get(i + 1).is_some_and(|n| n.text == "]")
+        {
+            ctx.emit(
+                report,
+                Rule::BoundedModel,
+                t.line,
+                "`#[ignore]`d model test: its schedule coverage is zero on every CI run; \
+                 re-enable it or justify with \
+                 `// lint: allow(bounded-model, <why this test must stay off>)`"
+                    .to_string(),
+            );
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! `// lint: hot-path` immediately above a function (attributes may
 //! intervene) opts that function into the fast-path purity rule.
 
+pub mod bounded;
 pub mod cfgcheck;
 pub mod facade;
 pub mod hotpath;

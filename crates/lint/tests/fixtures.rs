@@ -156,6 +156,68 @@ fn unsafe_fail_fixture_fires_on_missing_and_empty_rationale() {
 }
 
 #[test]
+fn bounded_pass_fixture_is_clean() {
+    let (r, _) = scan("bounded_pass.rs", &[]);
+    assert_eq!(unwaived(&r, Rule::BoundedModel), Vec::<String>::new());
+    // Both waivers are visible in the report for auditing.
+    assert_eq!(
+        r.findings
+            .iter()
+            .filter(|f| f.rule == Rule::BoundedModel && f.waived.is_some())
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn bounded_fail_fixture_fires_on_bound_and_ignore() {
+    let (r, _) = scan("bounded_fail.rs", &[]);
+    let msgs = unwaived(&r, Rule::BoundedModel);
+    assert_eq!(msgs.len(), 2, "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("`preemptions: Some(_)`")));
+    assert!(msgs.iter().any(|m| m.contains("`#[ignore]`d model test")));
+}
+
+#[test]
+fn bounded_rule_skips_non_model_files() {
+    let krate = Crate {
+        dir: PathBuf::from("crates/fixture"),
+        features: Vec::new(),
+        files: Vec::new(),
+    };
+    // Same offending tokens, but in a file that neither mentions
+    // `cilkm_checker` nor has "model" in its name: out of scope.
+    let src = "struct Config { preemptions: Option<usize> }\n\
+               fn f() -> Config { Config { preemptions: Some(3) } }\n\
+               #[ignore]\n#[test]\nfn unrelated() {}\n";
+    for path in [
+        "crates/fixture/src/scheduler.rs",
+        "crates/checker/src/exec.rs",
+    ] {
+        let mut report = Report::default();
+        let mut ledger = Vec::new();
+        scan_file(path, src, &krate, &mut report, &mut ledger);
+        assert_eq!(
+            report.count(Rule::BoundedModel),
+            0,
+            "{path} should be out of scope"
+        );
+    }
+    // The checker's own implementation stays exempt even though it names
+    // both `cilkm_checker` and the bounded default.
+    let mut report = Report::default();
+    let mut ledger = Vec::new();
+    scan_file(
+        "crates/checker/src/exec.rs",
+        &format!("use cilkm_checker;\n{src}"),
+        &krate,
+        &mut report,
+        &mut ledger,
+    );
+    assert_eq!(report.count(Rule::BoundedModel), 0);
+}
+
+#[test]
 fn ledger_render_is_deterministic_and_diffable() {
     let (_, ledger) = scan("unsafe_pass.rs", &[]);
     let rendered = unsafe_ledger::render(&ledger);

@@ -21,10 +21,12 @@ use crate::sync::SpinLock;
 /// The sleeper/waker handshake (crate::sleep) has no lost wakeups: a
 /// producer that publishes work and calls `signal_one` always ends with
 /// the consumer observing the work, under every interleaving and every
-/// allowed stale read.
+/// allowed stale read. Since PR 7 this runs under DPOR at *unbounded*
+/// preemption depth — the PR 1 soundness anchor, no longer relying on
+/// the preemption budget to terminate.
 #[test]
 fn sleeper_handshake_no_lost_wakeup() {
-    let report = checker::try_model(|| {
+    let report = checker::try_model_with(checker::Config::dpor(), || {
         let gate = Arc::new(SleepGate::new(1));
         let work = Arc::new(AtomicUsize::new(0));
         let (g2, w2) = (Arc::clone(&gate), Arc::clone(&work));
@@ -39,12 +41,32 @@ fn sleeper_handshake_no_lost_wakeup() {
         consumer.join().unwrap();
     })
     .expect("handshake must be wakeup-safe");
+    assert!(report.complete, "DPOR must exhaust the handshake");
     // The interesting interleavings exist (park vs. retract vs. unpark).
     assert!(
         report.schedules > 1,
         "explored {} schedules",
         report.schedules
     );
+}
+
+/// The `signal_one_racy` scenario: waker omits its `SeqCst` fence, so
+/// its `Relaxed` sleeper-count load can miss a just-parked consumer
+/// whose own re-check missed the published work — a lost wakeup, which
+/// the model reports as a deadlock.
+fn racy_handshake() {
+    let gate = Arc::new(SleepGate::new(1));
+    let work = Arc::new(AtomicUsize::new(0));
+    let (g2, w2) = (Arc::clone(&gate), Arc::clone(&work));
+    let consumer = checker::thread::spawn(move || {
+        g2.register_current(0);
+        while w2.load(Ordering::Acquire) == 0 {
+            g2.sleep(0, || w2.load(Ordering::Acquire) != 0);
+        }
+    });
+    work.store(1, Ordering::Release);
+    gate.signal_one_racy();
+    consumer.join().unwrap();
 }
 
 /// Regression for the pre-PR-1 bug: `signal_one_racy` omits the
@@ -54,25 +76,48 @@ fn sleeper_handshake_no_lost_wakeup() {
 /// must find it.
 #[test]
 fn sleeper_regression_is_detected() {
-    let err = checker::try_model(|| {
-        let gate = Arc::new(SleepGate::new(1));
-        let work = Arc::new(AtomicUsize::new(0));
-        let (g2, w2) = (Arc::clone(&gate), Arc::clone(&work));
-        let consumer = checker::thread::spawn(move || {
-            g2.register_current(0);
-            while w2.load(Ordering::Acquire) == 0 {
-                g2.sleep(0, || w2.load(Ordering::Acquire) != 0);
-            }
-        });
-        work.store(1, Ordering::Release);
-        gate.signal_one_racy();
-        consumer.join().unwrap();
-    })
-    .expect_err("the fence-less waker must lose a wakeup");
+    let err =
+        checker::try_model(racy_handshake).expect_err("the fence-less waker must lose a wakeup");
     assert!(
         err.message.contains("deadlock"),
         "unexpected failure: {}",
         err.message
+    );
+}
+
+/// The same regression stays red under unbounded-preemption DPOR: the
+/// sleep sets and happens-before filter must never prune away the
+/// interleaving class holding the lost wakeup (PR 7 soundness gate).
+#[test]
+fn sleeper_regression_is_detected_by_dpor() {
+    let err = checker::try_model_with(checker::Config::dpor(), racy_handshake)
+        .expect_err("DPOR must find the fence-less waker's lost wakeup");
+    assert!(
+        err.message.contains("deadlock"),
+        "unexpected failure: {}",
+        err.message
+    );
+}
+
+/// Seeded-replay regression (PR 7): the pair below was printed by a
+/// failing PCT sampling run over `racy_handshake` (`pct replay:
+/// CILKM_CHECK_SEED=<seed>:<depth>`). Replaying it re-finds the lost
+/// wakeup in exactly one schedule — the whole point of recording seeds.
+#[test]
+fn sleeper_regression_replays_from_recorded_seed() {
+    // Printed by `Config::pct(0xBAD5EED, 3, 10_000)` over this scenario.
+    const SEED: u64 = 15405835895086995523;
+    const DEPTH: usize = 3;
+    let err = checker::try_model_with(checker::Config::pct_replay(SEED, DEPTH), racy_handshake)
+        .expect_err("the recorded seed must reproduce the lost wakeup");
+    assert!(
+        err.message.contains("deadlock"),
+        "unexpected failure: {}",
+        err.message
+    );
+    assert_eq!(
+        err.schedules_explored, 1,
+        "a seed replay is a single deterministic schedule"
     );
 }
 

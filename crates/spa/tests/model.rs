@@ -24,10 +24,11 @@ fn pair(tag: usize) -> ViewPair {
 /// View transferal's memory discipline: a map filled on one thread and
 /// handed off through a Release/Acquire flag is read race-free by the
 /// receiver, and every view arrives exactly once (none dropped, none
-/// duplicated) under every schedule.
+/// duplicated) under every schedule. Exhausted at unbounded preemption
+/// depth under DPOR since PR 7.
 #[test]
 fn transferal_handoff_is_race_free_and_exact() {
-    checker::model(|| {
+    checker::model_with(checker::Config::dpor(), || {
         let private = SpaMapBox::new();
         let public = SpaMapBox::new();
         let (pm, gm) = (private.as_ref(), public.as_ref());
@@ -58,20 +59,35 @@ fn transferal_handoff_is_race_free_and_exact() {
 /// The negative control: touching one map from two threads without any
 /// synchronization violates the single-thread contract, and the
 /// trace-instrumented accessors must report it as a data race.
+fn unsynchronized_sharing() {
+    // Leak the page instead of running SpaMapBox's drop assertions
+    // while the checker unwinds the failing schedule.
+    let b = std::mem::ManuallyDrop::new(SpaMapBox::new());
+    let m = b.as_ref();
+    let writer = checker::thread::spawn(move || {
+        m.insert(1, pair(1));
+    });
+    let _ = m.nvalid(); // concurrent unsynchronized read
+    writer.join().unwrap();
+}
+
 #[test]
 fn unsynchronized_sharing_is_detected() {
-    let err = checker::try_model(|| {
-        // Leak the page instead of running SpaMapBox's drop assertions
-        // while the checker unwinds the failing schedule.
-        let b = std::mem::ManuallyDrop::new(SpaMapBox::new());
-        let m = b.as_ref();
-        let writer = checker::thread::spawn(move || {
-            m.insert(1, pair(1));
-        });
-        let _ = m.nvalid(); // concurrent unsynchronized read
-        writer.join().unwrap();
-    })
-    .expect_err("unsynchronized map sharing must be flagged");
+    let err = checker::try_model(unsynchronized_sharing)
+        .expect_err("unsynchronized map sharing must be flagged");
+    assert!(
+        err.message.contains("data race"),
+        "unexpected failure: {}",
+        err.message
+    );
+}
+
+/// The same control stays red at unbounded preemption depth under DPOR
+/// (PR 7): race-reduction pruning must never hide the racing pair.
+#[test]
+fn unsynchronized_sharing_is_detected_by_dpor() {
+    let err = checker::try_model_with(checker::Config::dpor(), unsynchronized_sharing)
+        .expect_err("DPOR must flag unsynchronized map sharing");
     assert!(
         err.message.contains("data race"),
         "unexpected failure: {}",
