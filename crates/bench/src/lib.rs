@@ -8,7 +8,9 @@
 //! * [`figures`] — one function per table/figure of the paper, each
 //!   returning typed rows and printing the same series the paper plots;
 //! * [`output`] — table printing and CSV/JSON persistence into
-//!   `bench_out/`.
+//!   `bench_out/`;
+//! * [`trend`] — cross-commit comparison of the committed `BENCH_*.json`
+//!   / `exploration_stats.json` artifacts (the `cilkm-trend` CI gate).
 //!
 //! Scale: every figure accepts a *divisor* applied to the paper's
 //! iteration counts (1024 M lookups does not belong on a laptop). The
@@ -19,6 +21,7 @@
 pub mod figures;
 pub mod micro;
 pub mod output;
+pub mod trend;
 
 /// Reads the global scale divisor (≥ 1) from `CILKM_BENCH_SCALE`.
 pub fn env_scale(default: f64) -> f64 {

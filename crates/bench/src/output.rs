@@ -88,6 +88,28 @@ impl Table {
     }
 }
 
+/// Writes the stable-schema `BENCH_<name>.json` perf-trajectory point in
+/// the flat-document shape `cilkm-trend` compares: `schema_version`,
+/// `bench`, then the given fields in order. Values are pre-rendered JSON
+/// scalars; keys ending `_ns` / `_pct` are what the trend gate treats as
+/// lower-is-better costs, everything else as workload description.
+pub fn write_bench_json(name: &str, fields: &[(String, String)]) {
+    let mut s = String::from("{\n  \"schema_version\": 1,\n");
+    let _ = writeln!(s, "  \"bench\": \"{name}\",");
+    let lines: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    s.push_str(&lines.join(",\n"));
+    s.push_str("\n}\n");
+    let path = out_dir().join(format!("BENCH_{name}.json"));
+    if let Err(e) = fs::write(&path, s) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("(written to {})\n", path.display());
+    }
+}
+
 /// Formats a duration in adaptive units.
 pub fn fmt_duration(d: std::time::Duration) -> String {
     let ns = d.as_nanos();

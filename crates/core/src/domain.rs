@@ -329,6 +329,18 @@ impl ReducerPool {
         self.pool.run_traced(f)
     }
 
+    /// As [`ReducerPool::run`], additionally measuring work, span, and
+    /// burdened span of the region with the online Cilkview-style
+    /// accumulator (zeros without the `trace` feature; see
+    /// `cilkm_runtime::Pool::run_profiled` for caveats).
+    pub fn run_profiled<F, R>(&self, f: F) -> (R, cilkm_obs::ParallelismReport)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.pool.run_profiled(f)
+    }
+
     /// Number of workers.
     pub fn num_threads(&self) -> usize {
         self.pool.num_threads()

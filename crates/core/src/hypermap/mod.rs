@@ -22,6 +22,7 @@ use cilkm_spa::ViewPair;
 use crate::domain::{DomainInner, Slot};
 use crate::instrument::Instrument;
 use crate::monoid::MonoidInstance;
+use cilkm_obs::profile::Burden;
 
 /// Per-worker state: the current context's hypermap.
 ///
@@ -148,7 +149,11 @@ fn lookup_miss(
         let t0 = std::time::Instant::now();
         let view = inst.identity();
         domain.instrument.view_creations.inc();
-        Instrument::add_short_ns(&domain.instrument.view_creation_ns, t0);
+        Instrument::add_short_ns(
+            &domain.instrument.view_creation_ns,
+            t0,
+            Burden::ViewCreation,
+        );
 
         let t1 = std::time::Instant::now();
         (*ptr).current.insert(
@@ -160,7 +165,11 @@ fn lookup_miss(
             },
         );
         domain.instrument.view_insertions.inc();
-        Instrument::add_short_ns(&domain.instrument.view_insertion_ns, t1);
+        Instrument::add_short_ns(
+            &domain.instrument.view_insertion_ns,
+            t1,
+            Burden::ViewInsertion,
+        );
         (*ptr).last.set((key, view));
         Some(view)
     }
@@ -299,7 +308,7 @@ impl HyperHooks for HypermapHooks {
                 (*st).current = right;
             }
         }
-        Instrument::add_ns(&self.ins().merge_ns, t0);
+        Instrument::add_merge_ns(&self.ins().merge_ns, t0);
     }
 
     fn collect_root(&self, state: &mut dyn Any) {

@@ -28,6 +28,7 @@
 use cilkm_obs::metrics::{
     Counter, FineHistogram, FineHistogramSnapshot, Histogram, HistogramSnapshot,
 };
+use cilkm_obs::profile::{self, Burden};
 
 /// Whether hot-path (per-lookup) counting is compiled in. The cold,
 /// steal-path counters above are always live — they are off the critical
@@ -121,10 +122,16 @@ impl Instrument {
         }
     }
 
-    /// Records one operation sample: thread CPU time elapsed since
-    /// `start_ns` (a [`thread_time_ns`] reading).
-    pub(crate) fn add_ns(hist: &Histogram, start_ns: u64) {
-        hist.record(thread_time_ns().saturating_sub(start_ns));
+    /// Records one hypermerge sample (thread CPU time elapsed since
+    /// `start_ns`, a [`thread_time_ns`] reading) and charges it to the
+    /// online profiler. Hypermerges run while the owner's strand context
+    /// is paused at the sync, so the charge lands only in the session's
+    /// burden breakdown — the merge time itself reaches the burdened
+    /// span through the runtime's sync fold, never double-counted.
+    pub(crate) fn add_merge_ns(hist: &Histogram, start_ns: u64) {
+        let ns = thread_time_ns().saturating_sub(start_ns);
+        hist.record(ns);
+        profile::charge(Burden::Hypermerge, ns);
     }
 
     /// Starts a transferal timing window (both clocks).
@@ -137,12 +144,16 @@ impl Instrument {
 
     /// Ends a transferal window: one CPU-time sample into the coarse
     /// Figure-8 histogram, one wall-clock sample into the fine
-    /// tail-analysis histogram.
+    /// tail-analysis histogram, and one wall-clock charge to the online
+    /// profiler (transferal happens inside the terminating strand, so
+    /// the charge debits that strand's unburdened span — the span the
+    /// program would have with free reducers).
     pub(crate) fn finish_transferal(&self, t: TransferalTimer) {
         self.transferal_ns
             .record(thread_time_ns().saturating_sub(t.cpu0));
-        self.transferal_fine_ns
-            .record(t.wall0.elapsed().as_nanos() as u64);
+        let wall_ns = t.wall0.elapsed().as_nanos() as u64;
+        self.transferal_fine_ns.record(wall_ns);
+        profile::charge(Burden::Transferal, wall_ns);
     }
 
     /// Timer for the *short* per-view windows (creation, insertion):
@@ -150,10 +161,13 @@ impl Instrument {
     /// would cost more than the operation being measured), with each
     /// sample capped so that a preemption landing inside the window on an
     /// oversubscribed host cannot charge a whole scheduling quantum to a
-    /// sub-microsecond operation.
-    pub(crate) fn add_short_ns(hist: &Histogram, since: std::time::Instant) {
+    /// sub-microsecond operation. The same capped sample is charged to
+    /// the online profiler under `kind`.
+    pub(crate) fn add_short_ns(hist: &Histogram, since: std::time::Instant, kind: Burden) {
         const CAP_NS: u64 = 10_000;
-        hist.record((since.elapsed().as_nanos() as u64).min(CAP_NS));
+        let ns = (since.elapsed().as_nanos() as u64).min(CAP_NS);
+        hist.record(ns);
+        profile::charge(kind, ns);
     }
 }
 

@@ -34,6 +34,7 @@ use cilkm_tlmm::{PageDesc, TlmmRegion};
 use crate::domain::{DomainInner, Slot};
 use crate::instrument::Instrument;
 use crate::monoid::MonoidInstance;
+use cilkm_obs::profile::Burden;
 
 /// How many empty public SPA maps a worker caches locally before spilling
 /// half to the domain's global pool.
@@ -342,7 +343,11 @@ fn lookup_miss(
         let t0 = std::time::Instant::now();
         let view = inst.identity();
         domain.instrument.view_creations.inc();
-        Instrument::add_short_ns(&domain.instrument.view_creation_ns, t0);
+        Instrument::add_short_ns(
+            &domain.instrument.view_creation_ns,
+            t0,
+            Burden::ViewCreation,
+        );
 
         let t1 = std::time::Instant::now();
         let outcome = page_at(ptr, page).insert(
@@ -357,7 +362,11 @@ fn lookup_miss(
         }
         (*ptr).current_views += 1;
         domain.instrument.view_insertions.inc();
-        Instrument::add_short_ns(&domain.instrument.view_insertion_ns, t1);
+        Instrument::add_short_ns(
+            &domain.instrument.view_insertion_ns,
+            t1,
+            Burden::ViewInsertion,
+        );
         (*ptr).last.set(LastLookup {
             domain,
             page,
@@ -574,7 +583,7 @@ impl HyperHooks for MmapHooks {
             }
         }
         self.ins().merge_pairs.add(pairs_reduced);
-        Instrument::add_ns(&self.ins().merge_ns, t0);
+        Instrument::add_merge_ns(&self.ins().merge_ns, t0);
     }
 
     fn collect_root(&self, state: &mut dyn Any) {

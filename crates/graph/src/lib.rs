@@ -28,7 +28,7 @@ pub mod pbfs;
 pub use bag::{check_bag_invariant, Bag, BagMonoid, Pennant};
 pub use bfs::bfs_serial;
 pub use csr::Graph;
-pub use pbfs::{pbfs, PbfsReport};
+pub use pbfs::{pbfs, pbfs_profiled, PbfsReport};
 
 /// Distance marker for unreached vertices.
 pub const UNREACHED: u32 = u32::MAX;

@@ -46,38 +46,75 @@ pub struct PbfsReport {
     pub lookups: u64,
 }
 
-/// Runs PBFS over `pool`'s reducer backend and returns distances plus the
-/// run report.
-pub fn pbfs(pool: &ReducerPool, g: &Graph, source: u32, grain: usize) -> PbfsReport {
-    let n = g.num_vertices();
-    assert!((source as usize) < n);
-    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
-    dist[source as usize].store(0, Ordering::Relaxed);
+/// Per-run state shared by [`pbfs`] and [`pbfs_profiled`]: the distance
+/// array, the next-layer bag reducer, and the lookup counter baseline.
+struct PbfsRun {
+    dist: Vec<AtomicU32>,
+    next: Reducer<BagMonoid<u32>>,
+    lookups_before: u64,
+}
 
-    let next = Reducer::new(pool, BagMonoid::<u32>::new(), Bag::new());
-    let lookups_before = pool.instrument().lookups;
+impl PbfsRun {
+    fn new(pool: &ReducerPool, g: &Graph, source: u32) -> PbfsRun {
+        let n = g.num_vertices();
+        assert!((source as usize) < n);
+        let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+        dist[source as usize].store(0, Ordering::Relaxed);
+        PbfsRun {
+            dist,
+            next: Reducer::new(pool, BagMonoid::<u32>::new(), Bag::new()),
+            lookups_before: pool.instrument().lookups,
+        }
+    }
 
-    let layers = pool.run(|| {
+    /// The parallel region's body: explore layer by layer until the
+    /// frontier empties, returning the layer count.
+    fn explore(&self, g: &Graph, source: u32, grain: usize) -> u32 {
         let mut current = Bag::new();
         current.insert(source);
         let mut d = 0u32;
         while !current.is_empty() {
-            process_layer(g, &current, d, &dist, &next, grain);
+            process_layer(g, &current, d, &self.dist, &self.next, grain);
             // Serial point in the region's spine: swap the layer bags —
             // take the reducer's accumulated bag and reset it to empty.
-            current = next.take();
+            current = self.next.take();
             d += 1;
         }
         d
-    });
-
-    let lookups = pool.instrument().lookups - lookups_before;
-    let distances = dist.into_iter().map(|a| a.into_inner()).collect();
-    PbfsReport {
-        distances,
-        layers,
-        lookups,
     }
+
+    fn finish(self, pool: &ReducerPool, layers: u32) -> PbfsReport {
+        let lookups = pool.instrument().lookups - self.lookups_before;
+        let distances = self.dist.into_iter().map(|a| a.into_inner()).collect();
+        PbfsReport {
+            distances,
+            layers,
+            lookups,
+        }
+    }
+}
+
+/// Runs PBFS over `pool`'s reducer backend and returns distances plus the
+/// run report.
+pub fn pbfs(pool: &ReducerPool, g: &Graph, source: u32, grain: usize) -> PbfsReport {
+    let run = PbfsRun::new(pool, g, source);
+    let layers = pool.run(|| run.explore(g, source, grain));
+    run.finish(pool, layers)
+}
+
+/// As [`pbfs`], but runs the region under the online work/span profiler
+/// ([`cilkm_core::ReducerPool::run_profiled`]) and returns the
+/// [`cilkm_obs::ParallelismReport`] alongside the run report. The report
+/// is all zeros unless the `trace` cargo feature is compiled in.
+pub fn pbfs_profiled(
+    pool: &ReducerPool,
+    g: &Graph,
+    source: u32,
+    grain: usize,
+) -> (PbfsReport, cilkm_obs::ParallelismReport) {
+    let run = PbfsRun::new(pool, g, source);
+    let (layers, profile) = pool.run_profiled(|| run.explore(g, source, grain));
+    (run.finish(pool, layers), profile)
 }
 
 /// Traverses one layer's bag in parallel, claiming neighbors and

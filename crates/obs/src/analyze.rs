@@ -53,6 +53,14 @@ pub struct WorkerSummary {
     pub pmaps: u64,
     /// Pages touched across all `sys_pmap` crossings.
     pub pmap_pages: u64,
+    /// Tasks this worker made stealable ([`EventKind::Spawn`]).
+    pub spawns: u64,
+    /// Spawned tasks this worker ran inline (popped its own deque;
+    /// [`EventKind::StrandBegin`]).
+    pub inline_strands: u64,
+    /// Sync points this worker's strands reached
+    /// ([`EventKind::SyncBegin`]).
+    pub syncs: u64,
     /// Events this worker lost to a full ring.
     pub dropped: u64,
 }
@@ -193,7 +201,13 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
                     w.pmaps += 1;
                     w.pmap_pages += ev.arg;
                 }
-                EventKind::RegionBegin | EventKind::RegionEnd => {}
+                EventKind::Spawn => w.spawns += 1,
+                EventKind::StrandBegin => w.inline_strands += 1,
+                EventKind::SyncBegin => w.syncs += 1,
+                EventKind::RegionBegin
+                | EventKind::RegionEnd
+                | EventKind::StrandEnd
+                | EventKind::SyncEnd => {}
             }
         }
         w.last_ts_ns = last_ts;
@@ -273,6 +287,19 @@ pub fn render(s: &TraceSummary) -> String {
         s.workers.iter().map(|w| w.pmaps).sum::<u64>(),
         s.workers.iter().map(|w| w.pmap_pages).sum::<u64>(),
     );
+    let (spawns, syncs): (u64, u64) = (
+        s.workers.iter().map(|w| w.spawns).sum(),
+        s.workers.iter().map(|w| w.syncs).sum(),
+    );
+    if spawns > 0 || syncs > 0 {
+        let _ = writeln!(
+            out,
+            "dag events: {} spawns, {} syncs, {} inline strands (run `cilkm-trace --dag` for work/span)",
+            spawns,
+            syncs,
+            s.workers.iter().map(|w| w.inline_strands).sum::<u64>(),
+        );
+    }
     match s.crossings_per_steal() {
         Some(r) => {
             let _ = writeln!(out, "crossings per steal: {r:.2}");

@@ -1,0 +1,1012 @@
+//! Offline series-parallel DAG reconstruction and critical-path
+//! attribution.
+//!
+//! The runtime's spawn/sync/strand-boundary events ([`EventKind::Spawn`]
+//! and friends, PR 8) make the computation's SP-DAG recoverable from the
+//! per-worker rings alone:
+//!
+//! * a **strand** is one task execution — an inline
+//!   [`EventKind::StrandBegin`]`..`[`EventKind::StrandEnd`] pair, or a
+//!   foreign [`EventKind::JobBegin`]`..`[`EventKind::JobEnd`] pair whose
+//!   `arg` carries the task id. Strands nest per worker (a worker that
+//!   suspends at a sync may execute foreign jobs in the middle of its
+//!   own strand), so each worker's event stream parses with a frame
+//!   stack;
+//! * inside a strand, [`EventKind::Spawn`] marks where a child task
+//!   became stealable, and a [`EventKind::SyncBegin`]`..`
+//!   [`EventKind::SyncEnd`] window marks a sync: a `join` sync's id is
+//!   the joined task's id, a `scope` sync carries a fresh id and joins
+//!   *every* task spawned so far in the strand;
+//! * segment lengths between those boundaries are the strand's serial
+//!   work; [`EventKind::MergeBegin`]/[`EventKind::MergeEnd`] inside a
+//!   sync window time the hypermerge, the last detach-flavored
+//!   [`EventKind::Detach`] before a foreign strand's end starts its view
+//!   transferal, and `Palloc`/`Pfree`/`Pmap` instants are the kernel
+//!   crossings the strand incurred.
+//!
+//! [`build`] replays each worker's stream into strand records, resolves
+//! the spawn/sync edges into the DAG, and computes **work** (total
+//! segment time), **span** (critical path with reducer burden
+//! subtracted), and **burdened span** (as executed) — then walks the
+//! burdened critical path to produce a top-K attribution table: which
+//! hypermerges, view transferals, and kernel crossings sit *on* the
+//! span, and what fraction of it they are. [`DagAnalysis::render`]
+//! prints the table; [`crate::export::write_chrome_json_with_path`]
+//! draws the path as a named Perfetto track.
+//!
+//! Truncated traces (dropped events, rings cut mid-strand, tasks still
+//! running at drain time) degrade to counted warnings, never panics:
+//! the analyzer is safe to run on a snapshot taken while workers are
+//! still emitting (verified under the model checker).
+//!
+//! One approximation is deliberate: a task spawned on a scope from
+//! *inside another spawned task* (cross-strand scope spawn) dangles at
+//! its spawning strand's end and is folded into the nearest enclosing
+//! sync rather than the scope's own sync. This bounds the span from
+//! above by at most the time between those two syncs and keeps the
+//! reconstruction single-pass.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::event::{arg_low, EventKind};
+use crate::trace::Trace;
+
+/// One reconstructed strand (task execution).
+#[derive(Clone, Debug, Default)]
+struct StrandRec {
+    /// Task id (nonzero; id-0 frames are pre-enable noise and are
+    /// parsed for nesting but not recorded).
+    id: u64,
+    /// Index of the worker (thread) that ran the strand.
+    worker: usize,
+    /// Timestamp of the strand's begin event.
+    begin_ts: u64,
+    /// Timestamp of the strand's end event (or the worker's last event
+    /// for a truncated strand).
+    end_ts: u64,
+    /// Spawn/sync/segment structure, in execution order.
+    items: Vec<Item>,
+    /// Tail view-transferal time (last detach to strand end); only
+    /// foreign strands detach.
+    transferal_ns: u64,
+    /// Kernel crossings charged to this strand.
+    crossings: u64,
+    /// The strand's end event was never seen (ring cut).
+    truncated: bool,
+}
+
+/// One element of a strand's serial structure.
+#[derive(Clone, Debug)]
+enum Item {
+    /// Serial execution between two boundaries; `end_ts` is the
+    /// boundary that closed it.
+    Seg { ns: u64 },
+    /// A child task became stealable here.
+    Spawn { id: u64, ts: u64 },
+    /// A sync window: the strand waited for `id` (join) or for every
+    /// open spawn (scope), merged for `merge_ns`, and resumed at
+    /// `end_ts`.
+    Sync {
+        id: u64,
+        begin_ts: u64,
+        end_ts: u64,
+        merge_ns: u64,
+        merge_begin_ts: u64,
+    },
+}
+
+/// A `(span, burdened span)` pair, in ns.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+struct PathVal {
+    span: u64,
+    bspan: u64,
+}
+
+impl PathVal {
+    fn max(self, other: PathVal) -> PathVal {
+        PathVal {
+            span: self.span.max(other.span),
+            bspan: self.bspan.max(other.bspan),
+        }
+    }
+
+    fn offset(self, base: PathVal) -> PathVal {
+        PathVal {
+            span: base.span + self.span,
+            bspan: base.bspan + self.bspan,
+        }
+    }
+}
+
+/// Resolution result for one strand, relative to its own start.
+#[derive(Clone, Debug, Default)]
+struct Res {
+    /// Path value at the strand's end (span excludes the tail
+    /// transferal; bspan includes it).
+    end: PathVal,
+    /// Completion paths of spawns left open at strand end (already
+    /// flattened), to be folded at the nearest enclosing sync.
+    dangling: Vec<PathVal>,
+}
+
+impl Res {
+    /// The strand's overall contribution: the later of its end path and
+    /// any dangling completion path (elementwise, per side).
+    fn flat(&self) -> PathVal {
+        self.dangling.iter().fold(self.end, |acc, d| acc.max(*d))
+    }
+}
+
+/// One slice of the reconstructed critical path (for the Perfetto
+/// track and the attribution walk).
+#[derive(Clone, Debug)]
+pub struct PathNode {
+    /// Human-readable label (`strand 17`, `hypermerge @ sync 5`).
+    pub label: String,
+    /// Label of the worker the slice ran on.
+    pub worker: String,
+    /// Slice start (trace clock, ns).
+    pub begin_ts_ns: u64,
+    /// Slice end (ns).
+    pub end_ts_ns: u64,
+    /// Reducer burden inside this slice (nonzero for merge slices and
+    /// for strand slices with tail transferal).
+    pub burden_ns: u64,
+}
+
+/// One row of the critical-path attribution table.
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    /// What sits on the span (`hypermerge @ sync 5 (worker w0)`).
+    pub what: String,
+    /// Its length on the burdened span, ns.
+    pub ns: u64,
+}
+
+/// The offline work/span analysis of one trace.
+#[derive(Clone, Debug, Default)]
+pub struct DagAnalysis {
+    /// Total strand segment time across all workers (ns). Excludes
+    /// hypermerge windows, includes view transferal — the same
+    /// convention as the online profiler, so the two agree.
+    pub work_ns: u64,
+    /// Critical-path length with reducer burden (merge + transferal)
+    /// subtracted (ns).
+    pub span_ns: u64,
+    /// Critical-path length as executed (ns).
+    pub burdened_span_ns: u64,
+    /// Strands reconstructed.
+    pub strands: usize,
+    /// Spawn edges seen.
+    pub spawns: usize,
+    /// Sync windows seen.
+    pub syncs: usize,
+    /// Spawned task ids with no recorded strand (stolen before tracing
+    /// was on, dropped from a full ring, or still running at drain).
+    pub incomplete_spawns: usize,
+    /// Structural warnings: unmatched begin/end events, id-0 frames,
+    /// strands cut by the end of their ring.
+    pub warnings: usize,
+    /// Kernel crossings on the critical path.
+    pub crossings_on_path: u64,
+    /// The burdened critical path, in execution order.
+    pub critical_path: Vec<PathNode>,
+    /// Burden on the path, largest first.
+    pub attribution: Vec<Attribution>,
+}
+
+impl DagAnalysis {
+    /// Ideal parallelism: work / span (0.0 when degenerate).
+    pub fn parallelism(&self) -> f64 {
+        ratio(self.work_ns, self.span_ns)
+    }
+
+    /// Burdened parallelism: work / burdened span.
+    pub fn burdened_parallelism(&self) -> f64 {
+        ratio(self.work_ns, self.burdened_span_ns)
+    }
+
+    /// Renders the headline numbers and the top-`k` critical-path
+    /// attribution table.
+    pub fn render(&self, k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "series-parallel DAG (offline reconstruction)");
+        let _ = writeln!(
+            out,
+            "  strands: {}   spawns: {}   syncs: {}",
+            self.strands, self.spawns, self.syncs
+        );
+        let _ = writeln!(out, "  work:            {:>14} ns", self.work_ns);
+        let _ = writeln!(out, "  span:            {:>14} ns", self.span_ns);
+        let _ = writeln!(out, "  burdened span:   {:>14} ns", self.burdened_span_ns);
+        let _ = writeln!(out, "  parallelism:     {:>14.2}", self.parallelism());
+        let _ = writeln!(
+            out,
+            "  burdened par.:   {:>14.2}",
+            self.burdened_parallelism()
+        );
+        let burden_total: u64 = self.attribution.iter().map(|a| a.ns).sum();
+        let _ = writeln!(
+            out,
+            "critical-path attribution (burden on span: {} ns, {:.2}% of burdened span; {} kernel crossings on path)",
+            burden_total,
+            100.0 * ratio(burden_total, self.burdened_span_ns),
+            self.crossings_on_path
+        );
+        let _ = writeln!(out, "  {:>4}  {:>12}  {:>6}  what", "rank", "ns", "pct");
+        for (i, a) in self.attribution.iter().take(k).enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:>12}  {:>5.2}%  {}",
+                i + 1,
+                a.ns,
+                100.0 * ratio(a.ns, self.burdened_span_ns),
+                a.what
+            );
+        }
+        if self.attribution.len() > k {
+            let _ = writeln!(
+                out,
+                "  ... {} more entries below the top {k}",
+                self.attribution.len() - k
+            );
+        }
+        if self.incomplete_spawns > 0 || self.warnings > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} incomplete spawns, {} structural warnings (truncated rings undercount the span)",
+                self.incomplete_spawns, self.warnings
+            );
+        }
+        out
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Parser state for one open strand frame on a worker.
+struct Frame {
+    rec: StrandRec,
+    /// Start of the currently accumulating segment (`None` while the
+    /// frame is suspended inside a sync window).
+    seg_start: Option<u64>,
+    /// Open sync window: `(id, begin_ts, merge_ns, merge_begin_ts)`.
+    open_sync: Option<(u64, u64, u64, u64)>,
+    /// Open merge interval start inside the sync window.
+    in_merge: Option<u64>,
+    /// Timestamp of the last detach-flavored `Detach`.
+    last_detach: Option<u64>,
+}
+
+impl Frame {
+    fn new(id: u64, worker: usize, begin_ts: u64, live: bool) -> Frame {
+        Frame {
+            rec: StrandRec {
+                id,
+                worker,
+                begin_ts,
+                ..StrandRec::default()
+            },
+            seg_start: live.then_some(begin_ts),
+            open_sync: None,
+            in_merge: None,
+            last_detach: None,
+        }
+    }
+
+    /// True for real strands (id 0 marks the pseudo-frame at the bottom
+    /// of each worker's stack and frames begun before tracing enabled).
+    fn live(&self) -> bool {
+        self.rec.id != 0
+    }
+
+    fn close_seg(&mut self, ts: u64) {
+        if let Some(t0) = self.seg_start.take() {
+            if self.live() {
+                self.rec.items.push(Item::Seg {
+                    ns: ts.saturating_sub(t0),
+                });
+            }
+        }
+    }
+}
+
+/// Builds the DAG analysis from a drained (or snapshotted) trace.
+pub fn build(trace: &Trace) -> DagAnalysis {
+    let mut analysis = DagAnalysis::default();
+    let mut strands: HashMap<u64, StrandRec> = HashMap::new();
+    let mut labels: Vec<String> = Vec::with_capacity(trace.threads.len());
+
+    for (worker, t) in trace.threads.iter().enumerate() {
+        labels.push(t.label.clone());
+        // The bottom pseudo-frame absorbs events outside any strand
+        // (idle-worker noise, the caller thread's region events).
+        let mut stack: Vec<Frame> = vec![Frame::new(0, worker, 0, false)];
+        let finalize = |frame: &mut Frame,
+                        ts: u64,
+                        truncated: bool,
+                        strands: &mut HashMap<u64, StrandRec>,
+                        analysis: &mut DagAnalysis| {
+            frame.close_seg(ts);
+            frame.rec.end_ts = ts;
+            frame.rec.truncated = truncated;
+            if truncated {
+                analysis.warnings += 1;
+            }
+            if let Some(d) = frame.last_detach {
+                frame.rec.transferal_ns = ts.saturating_sub(d);
+            }
+            if frame.live() {
+                let rec = std::mem::take(&mut frame.rec);
+                // A reused id (two regions in one window) keeps the
+                // longer record; counted as a warning either way.
+                if strands.insert(rec.id, rec).is_some() {
+                    analysis.warnings += 1;
+                }
+            }
+        };
+        for ev in &t.events {
+            let ts = ev.ts_ns;
+            match ev.kind {
+                EventKind::Spawn => {
+                    let top = stack.last_mut().unwrap();
+                    if top.live() {
+                        top.close_seg(ts);
+                        top.rec.items.push(Item::Spawn { id: ev.arg, ts });
+                        top.seg_start = Some(ts);
+                    }
+                }
+                EventKind::JobBegin | EventKind::StrandBegin => {
+                    let top = stack.last_mut().unwrap();
+                    // The enclosing frame is either suspended at a sync
+                    // (seg already closed) or the pseudo-frame; a live
+                    // open segment here means an unexpected nesting —
+                    // close it so time is not double counted.
+                    if top.seg_start.is_some() && top.live() {
+                        top.close_seg(ts);
+                        analysis.warnings += 1;
+                    }
+                    if ev.arg == 0 {
+                        analysis.warnings += 1;
+                    }
+                    stack.push(Frame::new(ev.arg, worker, ts, ev.arg != 0));
+                }
+                EventKind::JobEnd | EventKind::StrandEnd => {
+                    if stack.len() > 1 {
+                        let mut frame = stack.pop().unwrap();
+                        finalize(&mut frame, ts, false, &mut strands, &mut analysis);
+                    } else {
+                        // Orphan end: the begin predates the window.
+                        analysis.warnings += 1;
+                    }
+                }
+                EventKind::SyncBegin => {
+                    let top = stack.last_mut().unwrap();
+                    if top.live() {
+                        top.close_seg(ts);
+                        top.open_sync = Some((ev.arg, ts, 0, 0));
+                    }
+                }
+                EventKind::SyncEnd => {
+                    let top = stack.last_mut().unwrap();
+                    if let Some((id, begin_ts, merge_ns, merge_begin_ts)) = top.open_sync.take() {
+                        top.rec.items.push(Item::Sync {
+                            id,
+                            begin_ts,
+                            end_ts: ts,
+                            merge_ns,
+                            merge_begin_ts,
+                        });
+                        top.seg_start = Some(ts);
+                    } else if top.live() {
+                        analysis.warnings += 1;
+                    }
+                }
+                EventKind::MergeBegin => {
+                    let top = stack.last_mut().unwrap();
+                    if top.open_sync.is_some() {
+                        top.in_merge = Some(ts);
+                    }
+                }
+                EventKind::MergeEnd => {
+                    let top = stack.last_mut().unwrap();
+                    if let (Some(t0), Some(sync)) = (top.in_merge.take(), top.open_sync.as_mut()) {
+                        sync.2 += ts.saturating_sub(t0);
+                        if sync.3 == 0 {
+                            sync.3 = t0;
+                        }
+                    }
+                }
+                EventKind::Detach => {
+                    // Flag 0 = detach (transferal out at strand end);
+                    // flag 1 = suspension. Cpu id rides the high bits.
+                    if arg_low(ev.arg) == 0 {
+                        stack.last_mut().unwrap().last_detach = Some(ts);
+                    }
+                }
+                EventKind::Palloc | EventKind::Pfree | EventKind::Pmap => {
+                    let top = stack.last_mut().unwrap();
+                    if top.live() {
+                        top.rec.crossings += 1;
+                    }
+                }
+                EventKind::RegionBegin
+                | EventKind::RegionEnd
+                | EventKind::StealSuccess
+                | EventKind::StealFail
+                | EventKind::Attach
+                | EventKind::Park
+                | EventKind::Wake => {}
+            }
+        }
+        // Frames still open at the end of the ring were cut mid-strand.
+        let last_ts = t.events.last().map(|e| e.ts_ns).unwrap_or(0);
+        while stack.len() > 1 {
+            let mut frame = stack.pop().unwrap();
+            finalize(&mut frame, last_ts, true, &mut strands, &mut analysis);
+        }
+    }
+
+    analysis.strands = strands.len();
+    analysis.work_ns = strands
+        .values()
+        .flat_map(|s| &s.items)
+        .map(|i| match i {
+            Item::Seg { ns } => *ns,
+            _ => 0,
+        })
+        .sum();
+
+    // Statically determine which strand ids are accounted for inside
+    // some other strand (joined at a sync, or dangling at its parent's
+    // end); the rest are roots.
+    let mut accounted: HashSet<u64> = HashSet::new();
+    let mut spawned: HashSet<u64> = HashSet::new();
+    for s in strands.values() {
+        let mut open: Vec<u64> = Vec::new();
+        for item in &s.items {
+            match item {
+                Item::Seg { .. } => {}
+                Item::Spawn { id, .. } => {
+                    analysis.spawns += 1;
+                    spawned.insert(*id);
+                    open.push(*id);
+                }
+                Item::Sync { id, .. } => {
+                    analysis.syncs += 1;
+                    if let Some(pos) = open.iter().position(|o| o == id) {
+                        accounted.insert(open.remove(pos));
+                    } else {
+                        accounted.extend(open.drain(..));
+                    }
+                }
+            }
+        }
+        accounted.extend(open);
+    }
+    analysis.incomplete_spawns = spawned
+        .iter()
+        .filter(|id| !strands.contains_key(id))
+        .count();
+
+    let resolver = Resolver {
+        strands: &strands,
+        memo: HashMap::new(),
+        visiting: HashSet::new(),
+    };
+    let mut resolver = resolver;
+    let mut roots: Vec<u64> = strands
+        .keys()
+        .copied()
+        .filter(|id| !accounted.contains(id))
+        .collect();
+    roots.sort_unstable();
+    let mut best_root: Option<(u64, PathVal)> = None;
+    for &root in &roots {
+        let val = resolver.resolve(root).flat();
+        if best_root.map(|(_, b)| val.bspan > b.bspan).unwrap_or(true) {
+            best_root = Some((root, val));
+        }
+    }
+    if let Some((root, val)) = best_root {
+        analysis.span_ns = val.span;
+        analysis.burdened_span_ns = val.bspan;
+        let mut walker = Walker {
+            strands: &strands,
+            memo: &resolver.memo,
+            labels: &labels,
+            nodes: Vec::new(),
+            attribution: Vec::new(),
+            crossings: 0,
+        };
+        walker.walk(root);
+        walker.attribution.sort_by_key(|a| std::cmp::Reverse(a.ns));
+        analysis.critical_path = walker.nodes;
+        analysis.attribution = walker.attribution;
+        analysis.crossings_on_path = walker.crossings;
+    }
+    analysis
+}
+
+/// Memoized bottom-up span resolution.
+struct Resolver<'a> {
+    strands: &'a HashMap<u64, StrandRec>,
+    memo: HashMap<u64, Res>,
+    visiting: HashSet<u64>,
+}
+
+impl Resolver<'_> {
+    fn resolve(&mut self, id: u64) -> Res {
+        if let Some(r) = self.memo.get(&id) {
+            return r.clone();
+        }
+        // Corrupted traces could alias ids into a cycle; treat a
+        // re-entered strand as unresolvable rather than recursing
+        // forever.
+        if !self.visiting.insert(id) {
+            return Res::default();
+        }
+        let res = match self.strands.get(&id) {
+            Some(rec) => self.resolve_rec(&rec.clone()),
+            None => Res::default(),
+        };
+        self.visiting.remove(&id);
+        self.memo.insert(id, res.clone());
+        res
+    }
+
+    fn resolve_rec(&mut self, rec: &StrandRec) -> Res {
+        let mut at = PathVal::default();
+        let mut open: Vec<(u64, PathVal)> = Vec::new();
+        let mut dangling: Vec<PathVal> = Vec::new();
+        for item in &rec.items {
+            match item {
+                Item::Seg { ns } => {
+                    at.span += ns;
+                    at.bspan += ns;
+                }
+                Item::Spawn { id, .. } => open.push((*id, at)),
+                Item::Sync { id, merge_ns, .. } => {
+                    let joinset: Vec<(u64, PathVal)> =
+                        match open.iter().position(|(oid, _)| oid == id) {
+                            Some(pos) => vec![open.remove(pos)],
+                            None => std::mem::take(&mut open),
+                        };
+                    let mut best = at;
+                    for (cid, base) in joinset {
+                        let child = self.resolve(cid).flat().offset(base);
+                        best = best.max(child);
+                    }
+                    at = best;
+                    at.bspan += merge_ns;
+                }
+            }
+        }
+        // Spawns never synced in this strand dangle up to the caller.
+        for (cid, base) in open {
+            dangling.push(self.resolve(cid).flat().offset(base));
+        }
+        // The tail transferal is burden: real time (stays in bspan) but
+        // not user-span time.
+        at.span = at.span.saturating_sub(rec.transferal_ns);
+        Res { end: at, dangling }
+    }
+}
+
+/// Top-down argmax walk of the burdened critical path.
+struct Walker<'a> {
+    strands: &'a HashMap<u64, StrandRec>,
+    memo: &'a HashMap<u64, Res>,
+    labels: &'a [String],
+    nodes: Vec<PathNode>,
+    attribution: Vec<Attribution>,
+    crossings: u64,
+}
+
+impl Walker<'_> {
+    fn label_of(&self, worker: usize) -> String {
+        self.labels
+            .get(worker)
+            .cloned()
+            .unwrap_or_else(|| format!("worker-{worker}"))
+    }
+
+    fn flat_of(&self, id: u64) -> PathVal {
+        self.memo.get(&id).map(Res::flat).unwrap_or_default()
+    }
+
+    fn walk(&mut self, id: u64) {
+        let Some(rec) = self.strands.get(&id).cloned() else {
+            return;
+        };
+        let worker = self.label_of(rec.worker);
+        self.crossings += rec.crossings;
+        let mut at = PathVal::default();
+        let mut open: Vec<(u64, PathVal, u64)> = Vec::new(); // id, base, spawn ts
+        let mut cur_ts = rec.begin_ts;
+        for item in &rec.items {
+            match item {
+                Item::Seg { ns } => {
+                    at.span += ns;
+                    at.bspan += ns;
+                }
+                Item::Spawn { id, ts } => open.push((*id, at, *ts)),
+                Item::Sync {
+                    id,
+                    begin_ts,
+                    end_ts,
+                    merge_ns,
+                    merge_begin_ts,
+                } => {
+                    let joinset: Vec<(u64, PathVal, u64)> =
+                        match open.iter().position(|(oid, _, _)| oid == id) {
+                            Some(pos) => vec![open.remove(pos)],
+                            None => std::mem::take(&mut open),
+                        };
+                    // Pick the burdened-argmax branch, mirroring the
+                    // resolver's arithmetic.
+                    let mut best = at;
+                    let mut winner: Option<u64> = None;
+                    for (cid, base, _) in &joinset {
+                        let child = self.flat_of(*cid).offset(*base);
+                        if child.bspan > best.bspan {
+                            best = child;
+                            winner = Some(*cid);
+                        }
+                    }
+                    // Close this strand's slice at the sync boundary
+                    // and (if a child carried the path) descend.
+                    self.nodes.push(PathNode {
+                        label: format!("strand {}", rec.id),
+                        worker: worker.clone(),
+                        begin_ts_ns: cur_ts,
+                        end_ts_ns: *begin_ts,
+                        burden_ns: 0,
+                    });
+                    if let Some(cid) = winner {
+                        self.walk(cid);
+                    }
+                    if *merge_ns > 0 {
+                        self.nodes.push(PathNode {
+                            label: format!("hypermerge @ sync {id}"),
+                            worker: worker.clone(),
+                            begin_ts_ns: *merge_begin_ts,
+                            end_ts_ns: merge_begin_ts + merge_ns,
+                            burden_ns: *merge_ns,
+                        });
+                        self.attribution.push(Attribution {
+                            what: format!("hypermerge @ sync {id} (strand {}, {worker})", rec.id),
+                            ns: *merge_ns,
+                        });
+                    }
+                    at = best;
+                    at.bspan += merge_ns;
+                    cur_ts = *end_ts;
+                }
+            }
+        }
+        // The final slice runs to strand end; its tail transferal (if
+        // any) is burden on the path.
+        self.nodes.push(PathNode {
+            label: format!("strand {}", rec.id),
+            worker: worker.clone(),
+            begin_ts_ns: cur_ts,
+            end_ts_ns: rec.end_ts,
+            burden_ns: rec.transferal_ns,
+        });
+        if rec.transferal_ns > 0 {
+            self.attribution.push(Attribution {
+                what: format!("view transferal @ strand {} end ({worker})", rec.id),
+                ns: rec.transferal_ns,
+            });
+        }
+        // If a dangling child's completion outlasts this strand's end,
+        // the path continues into it (it joins at an ancestor's sync).
+        let end_b = at.bspan; // before transferal subtraction: bspan keeps it
+        let mut best_dangle: Option<(u64, u64)> = None;
+        for (cid, base, _) in &open {
+            let child = self.flat_of(*cid).offset(*base);
+            if child.bspan > end_b && best_dangle.map(|(_, b)| child.bspan > b).unwrap_or(true) {
+                best_dangle = Some((*cid, child.bspan));
+            }
+        }
+        if let Some((cid, _)) = best_dangle {
+            self.walk(cid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::trace::ThreadTrace;
+
+    fn ev(ts: u64, kind: EventKind, arg: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            kind,
+            arg,
+        }
+    }
+
+    fn thread(label: &str, events: Vec<Event>) -> ThreadTrace {
+        ThreadTrace {
+            label: label.into(),
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn inline_join_is_exact() {
+        // Root strand 1 spawns task 2, runs it inline, merges 50 ns.
+        let trace = Trace {
+            threads: vec![thread(
+                "w0",
+                vec![
+                    ev(100, EventKind::JobBegin, 1),
+                    ev(200, EventKind::Spawn, 2),
+                    ev(300, EventKind::SyncBegin, 2),
+                    ev(300, EventKind::StrandBegin, 2),
+                    ev(700, EventKind::StrandEnd, 2),
+                    ev(710, EventKind::MergeBegin, 0),
+                    ev(760, EventKind::MergeEnd, 0),
+                    ev(760, EventKind::SyncEnd, 2),
+                    ev(900, EventKind::JobEnd, 1),
+                ],
+            )],
+        };
+        let a = build(&trace);
+        assert_eq!(a.strands, 2);
+        assert_eq!(a.spawns, 1);
+        assert_eq!(a.syncs, 1);
+        assert_eq!(a.warnings, 0);
+        assert_eq!(a.incomplete_spawns, 0);
+        // Root segments: 100 (to spawn) + 100 (to sync) + 140 (after) =
+        // 340; child segment 400; work = 740.
+        assert_eq!(a.work_ns, 740);
+        // Span: 100 + child 400 (beats continuation 200) + tail 140 =
+        // 640 unburdened; merge 50 on the burdened side only.
+        assert_eq!(a.span_ns, 640);
+        assert_eq!(a.burdened_span_ns, 690);
+        assert!((a.parallelism() - 740.0 / 640.0).abs() < 1e-9);
+        // The merge is the only burden on the path.
+        assert_eq!(a.attribution.len(), 1);
+        assert_eq!(a.attribution[0].ns, 50);
+        assert!(a.attribution[0].what.contains("hypermerge"));
+        // Path: root-to-sync, child, merge, root tail.
+        assert_eq!(a.critical_path.len(), 4);
+        assert_eq!(a.critical_path[0].begin_ts_ns, 100);
+        assert_eq!(a.critical_path[0].end_ts_ns, 300);
+        assert_eq!(a.critical_path[1].label, "strand 2");
+        assert_eq!(a.critical_path[2].burden_ns, 50);
+        assert_eq!(a.critical_path[3].end_ts_ns, 900);
+    }
+
+    #[test]
+    fn stolen_child_charges_transferal_on_the_path() {
+        let trace = Trace {
+            threads: vec![
+                thread(
+                    "w0",
+                    vec![
+                        ev(0, EventKind::JobBegin, 1),
+                        ev(100, EventKind::Spawn, 2),
+                        ev(150, EventKind::SyncBegin, 2),
+                        ev(800, EventKind::MergeBegin, 0),
+                        ev(850, EventKind::MergeEnd, 0),
+                        ev(850, EventKind::SyncEnd, 2),
+                        ev(1000, EventKind::JobEnd, 1),
+                    ],
+                ),
+                thread(
+                    "w1",
+                    vec![
+                        ev(200, EventKind::JobBegin, 2),
+                        // Cpu id packed into the high bits must not
+                        // break flag decoding.
+                        ev(600, EventKind::Detach, crate::event::pack_cpu(0, Some(3))),
+                        ev(700, EventKind::JobEnd, 2),
+                    ],
+                ),
+            ],
+        };
+        let a = build(&trace);
+        assert_eq!(a.strands, 2);
+        assert_eq!(a.work_ns, 300 + 500);
+        // Child: 500 wall, 100 of it transferal. Root path: 100 + 500
+        // (burdened child) + 50 merge + 150 tail = 800 burdened;
+        // unburdened drops transferal and merge: 100 + 400 + 150 = 650.
+        assert_eq!(a.span_ns, 650);
+        assert_eq!(a.burdened_span_ns, 800);
+        let whats: Vec<&str> = a.attribution.iter().map(|x| x.what.as_str()).collect();
+        assert!(whats.iter().any(|w| w.contains("transferal")), "{whats:?}");
+        assert!(whats.iter().any(|w| w.contains("hypermerge")), "{whats:?}");
+        assert_eq!(a.attribution.iter().map(|x| x.ns).sum::<u64>(), 150);
+    }
+
+    #[test]
+    fn scope_sync_joins_all_open_spawns() {
+        let trace = Trace {
+            threads: vec![
+                thread(
+                    "w0",
+                    vec![
+                        ev(0, EventKind::JobBegin, 1),
+                        ev(10, EventKind::Spawn, 2),
+                        ev(20, EventKind::Spawn, 3),
+                        ev(30, EventKind::SyncBegin, 99),
+                        ev(500, EventKind::SyncEnd, 99),
+                        ev(600, EventKind::JobEnd, 1),
+                    ],
+                ),
+                thread(
+                    "w1",
+                    vec![
+                        ev(100, EventKind::JobBegin, 2),
+                        ev(300, EventKind::JobEnd, 2),
+                    ],
+                ),
+                thread(
+                    "w2",
+                    vec![
+                        ev(100, EventKind::JobBegin, 3),
+                        ev(400, EventKind::JobEnd, 3),
+                    ],
+                ),
+            ],
+        };
+        let a = build(&trace);
+        assert_eq!(a.strands, 3);
+        assert_eq!(a.syncs, 1);
+        // Spawn 3 at offset 20 runs 300 → 320 beats spawn 2 (10 + 200)
+        // and the continuation (30); tail 100 → span 420.
+        assert_eq!(a.span_ns, 420);
+        assert_eq!(a.burdened_span_ns, 420);
+        assert_eq!(a.work_ns, 130 + 200 + 300);
+        // The path descends into strand 3.
+        assert!(a
+            .critical_path
+            .iter()
+            .any(|n| n.label == "strand 3" && n.worker == "w2"));
+    }
+
+    #[test]
+    fn unjoined_spawn_dangles_to_the_strand_end() {
+        let trace = Trace {
+            threads: vec![
+                thread(
+                    "w0",
+                    vec![
+                        ev(0, EventKind::JobBegin, 1),
+                        ev(50, EventKind::Spawn, 2),
+                        ev(100, EventKind::JobEnd, 1),
+                    ],
+                ),
+                thread(
+                    "w1",
+                    vec![
+                        ev(60, EventKind::JobBegin, 2),
+                        ev(460, EventKind::JobEnd, 2),
+                    ],
+                ),
+            ],
+        };
+        let a = build(&trace);
+        // Strand 2 is accounted (dangling) in strand 1, so 1 is the
+        // only root; its flat value takes the dangling completion.
+        assert_eq!(a.span_ns, 450);
+        assert_eq!(a.work_ns, 100 + 400);
+        // The walk continues into the dangling child.
+        assert!(a.critical_path.iter().any(|n| n.label == "strand 2"));
+    }
+
+    #[test]
+    fn missing_child_counts_incomplete_not_panic() {
+        let trace = Trace {
+            threads: vec![thread(
+                "w0",
+                vec![
+                    ev(0, EventKind::JobBegin, 1),
+                    ev(50, EventKind::Spawn, 2),
+                    ev(80, EventKind::SyncBegin, 2),
+                    ev(90, EventKind::SyncEnd, 2),
+                    ev(100, EventKind::JobEnd, 1),
+                ],
+            )],
+        };
+        let a = build(&trace);
+        assert_eq!(a.incomplete_spawns, 1);
+        assert_eq!(a.span_ns, 90, "sync wait contributes no fabricated time");
+        assert_eq!(a.strands, 1);
+    }
+
+    #[test]
+    fn truncated_ring_degrades_gracefully() {
+        // Ring cut mid-strand: no JobEnd, and an orphan end elsewhere.
+        let trace = Trace {
+            threads: vec![
+                thread(
+                    "w0",
+                    vec![
+                        ev(10, EventKind::JobEnd, 7), // orphan
+                        ev(20, EventKind::JobBegin, 1),
+                        ev(90, EventKind::Spawn, 2),
+                    ],
+                ),
+                thread(
+                    "w1",
+                    vec![
+                        ev(30, EventKind::JobBegin, 2),
+                        ev(50, EventKind::MergeBegin, 0), // stray, no sync
+                    ],
+                ),
+            ],
+        };
+        let a = build(&trace);
+        assert!(a.warnings >= 3, "orphan end + two truncated strands");
+        assert_eq!(a.strands, 2);
+        // Nothing panics and the numbers stay bounded by the window.
+        assert!(a.span_ns <= 90);
+    }
+
+    #[test]
+    fn crossings_and_kernel_events_attach_to_their_strand() {
+        let trace = Trace {
+            threads: vec![thread(
+                "w0",
+                vec![
+                    ev(0, EventKind::JobBegin, 1),
+                    ev(10, EventKind::Palloc, 0),
+                    ev(20, EventKind::Pmap, 4),
+                    ev(30, EventKind::Pfree, 0),
+                    ev(100, EventKind::JobEnd, 1),
+                ],
+            )],
+        };
+        let a = build(&trace);
+        assert_eq!(a.crossings_on_path, 3);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let a = build(&Trace::default());
+        assert_eq!(a.strands, 0);
+        assert_eq!(a.span_ns, 0);
+        assert_eq!(a.parallelism(), 0.0);
+        let text = a.render(5);
+        assert!(text.contains("series-parallel DAG"));
+    }
+
+    #[test]
+    fn render_lists_top_k() {
+        let trace = Trace {
+            threads: vec![thread(
+                "w0",
+                vec![
+                    ev(100, EventKind::JobBegin, 1),
+                    ev(200, EventKind::Spawn, 2),
+                    ev(300, EventKind::SyncBegin, 2),
+                    ev(300, EventKind::StrandBegin, 2),
+                    ev(700, EventKind::StrandEnd, 2),
+                    ev(710, EventKind::MergeBegin, 0),
+                    ev(760, EventKind::MergeEnd, 0),
+                    ev(760, EventKind::SyncEnd, 2),
+                    ev(900, EventKind::JobEnd, 1),
+                ],
+            )],
+        };
+        let a = build(&trace);
+        let text = a.render(3);
+        assert!(text.contains("hypermerge @ sync 2"));
+        assert!(text.contains("parallelism"));
+    }
+}

@@ -47,11 +47,32 @@ pub enum EventKind {
     Pfree = 13,
     /// Simulated `sys_pmap` kernel crossing; `arg` = pages touched.
     Pmap = 14,
+    /// A task (the right branch of a `join`, a `scope` spawn, or the
+    /// root job of a `Pool::run` region) was made stealable; `arg` = the
+    /// task id from [`crate::trace::next_task_id`]. Together with the
+    /// strand-boundary events below this makes the series-parallel DAG
+    /// reconstructible offline (see [`crate::dag`]).
+    Spawn = 15,
+    /// A spawned task started executing *inline* on the worker that
+    /// spawned it (the common popped-own-deque case); `arg` = task id.
+    /// Foreign execution reuses [`EventKind::JobBegin`] with the task id
+    /// as `arg`.
+    StrandBegin = 16,
+    /// The inline task of the matching [`EventKind::StrandBegin`]
+    /// finished; `arg` = task id.
+    StrandEnd = 17,
+    /// The continuation reached the sync point of a `join` or `scope`
+    /// (left branch done, about to wait for spawned tasks); `arg` = the
+    /// task id being joined (`join`) or a fresh sync id (`scope`).
+    SyncBegin = 18,
+    /// The sync completed: all joined tasks finished and any hypermerge
+    /// ran; `arg` as for [`EventKind::SyncBegin`].
+    SyncEnd = 19,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::RegionBegin,
         EventKind::RegionEnd,
         EventKind::StealSuccess,
@@ -67,6 +88,11 @@ impl EventKind {
         EventKind::Palloc,
         EventKind::Pfree,
         EventKind::Pmap,
+        EventKind::Spawn,
+        EventKind::StrandBegin,
+        EventKind::StrandEnd,
+        EventKind::SyncBegin,
+        EventKind::SyncEnd,
     ];
 
     /// Stable lower-case name (used in CSV and Chrome trace output).
@@ -87,6 +113,11 @@ impl EventKind {
             EventKind::Palloc => "palloc",
             EventKind::Pfree => "pfree",
             EventKind::Pmap => "pmap",
+            EventKind::Spawn => "spawn",
+            EventKind::StrandBegin => "strand_begin",
+            EventKind::StrandEnd => "strand_end",
+            EventKind::SyncBegin => "sync_begin",
+            EventKind::SyncEnd => "sync_end",
         }
     }
 
@@ -123,6 +154,58 @@ impl Event {
     };
 }
 
+/// Packs a cpu id into the high 32 bits of an event argument, keeping
+/// the kind-specific payload in the low 32. The stored value is
+/// `cpu + 1` so that 0 keeps meaning "cpu unknown" (portable fallback,
+/// or tracing enabled on a platform without `sched_getcpu`); the
+/// payload survives unchanged for decoders that only read the low word
+/// via [`arg_low`].
+#[inline]
+pub fn pack_cpu(low: u64, cpu: Option<u32>) -> u64 {
+    debug_assert!(low <= u32::MAX as u64, "payload must fit in 32 bits");
+    let hi = match cpu {
+        Some(c) => (c as u64).wrapping_add(1) << 32,
+        None => 0,
+    };
+    hi | (low & 0xffff_ffff)
+}
+
+/// The kind-specific payload of a cpu-packed argument (low 32 bits).
+#[inline]
+pub fn arg_low(arg: u64) -> u64 {
+    arg & 0xffff_ffff
+}
+
+/// The cpu id packed into `arg` by [`pack_cpu`], if one was recorded.
+#[inline]
+pub fn arg_cpu(arg: u64) -> Option<u32> {
+    let hi = (arg >> 32) as u32;
+    hi.checked_sub(1)
+}
+
+/// The CPU the calling thread is running on, via `sched_getcpu`.
+/// Returns `None` on platforms without the call (and under Miri, whose
+/// FFI layer does not model it) — the portable fallback the trace
+/// format encodes as "cpu unknown".
+#[inline]
+pub fn current_cpu() -> Option<u32> {
+    #[cfg(all(target_os = "linux", not(miri)))]
+    {
+        extern "C" {
+            fn sched_getcpu() -> i32;
+        }
+        // SAFETY: `sched_getcpu` takes no arguments, has no
+        // preconditions, and returns -1 on error; it is async-signal
+        // safe on glibc (a vDSO/rseq read).
+        let cpu = unsafe { sched_getcpu() };
+        u32::try_from(cpu).ok()
+    }
+    #[cfg(not(all(target_os = "linux", not(miri))))]
+    {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +224,28 @@ mod tests {
     fn discriminants_are_dense_and_stable() {
         for (i, k) in EventKind::ALL.into_iter().enumerate() {
             assert_eq!(k as u8 as usize, i, "discriminants must stay dense");
+        }
+    }
+
+    #[test]
+    fn cpu_packing_round_trips() {
+        assert_eq!(pack_cpu(7, None), 7);
+        assert_eq!(arg_cpu(7), None);
+        assert_eq!(arg_low(7), 7);
+        let packed = pack_cpu(3, Some(0));
+        assert_eq!(arg_low(packed), 3);
+        assert_eq!(arg_cpu(packed), Some(0));
+        let packed = pack_cpu(u32::MAX as u64, Some(u32::MAX - 1));
+        assert_eq!(arg_low(packed), u32::MAX as u64);
+        assert_eq!(arg_cpu(packed), Some(u32::MAX - 1));
+    }
+
+    #[test]
+    fn current_cpu_is_stable_enough_to_call() {
+        // Smoke: must not crash; on Linux outside Miri it reports a cpu.
+        let c = current_cpu();
+        if cfg!(all(target_os = "linux", not(miri))) {
+            assert!(c.is_some());
         }
     }
 }

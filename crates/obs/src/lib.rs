@@ -21,6 +21,15 @@
 //! * [`analyze`] — the summarizer behind the `cilkm-trace` binary:
 //!   per-worker utilization, steal/idle breakdown, merge critical-path
 //!   estimate, crossings per steal.
+//! * [`dag`] — offline **series-parallel DAG reconstruction** from the
+//!   spawn/sync/strand events: exact work, span, parallelism, burdened
+//!   span, and a top-K critical-path attribution table (which
+//!   hypermerges, view transferals, and kernel crossings sit *on* the
+//!   span).
+//! * [`profile`] — the **online Cilkview-style work/span profiler**:
+//!   constant-space per-worker accumulators that ride the scheduler's
+//!   spawn/sync hand-offs, so `Pool::run_profiled` can return a
+//!   [`ParallelismReport`] without draining any ring.
 //!
 //! Layering: this crate sits *below* `cilkm-tlmm`, `cilkm-runtime`, and
 //! `cilkm-core`, all of which emit into it; it depends on nothing but
@@ -33,9 +42,11 @@
 
 pub mod analyze;
 pub mod clock;
+pub mod dag;
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod ring;
 pub mod trace;
 
@@ -44,9 +55,11 @@ pub(crate) mod msync;
 #[cfg(all(test, feature = "model"))]
 mod model_tests;
 
+pub use dag::DagAnalysis;
 pub use event::{Event, EventKind};
 pub use metrics::{
     Counter, FineHistogram, FineHistogramSnapshot, Histogram, HistogramSnapshot, MetricValue,
     MetricsRegistry, MetricsSnapshot, MetricsSource,
 };
+pub use profile::{Burden, BurdenBreakdown, ParallelismReport};
 pub use trace::{ThreadTrace, Trace};

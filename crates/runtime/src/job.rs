@@ -9,23 +9,86 @@
 //! *right placeholder* where the thief deposits its detached views.
 
 use std::any::Any;
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::panic::{self, AssertUnwindSafe};
+
+use cilkm_obs::{profile, trace, EventKind};
 
 use crate::hooks::DetachedViews;
 use crate::latch::{Latch, SpinLatch};
 
-/// First field of every job type: the type-erased execute function.
+/// First field of every job type: the type-erased execute function, plus
+/// the task's DAG identity and work/span hand-off slots (PR 8).
+///
+/// `task_id` and `spawn_span` are written by the spawning worker before
+/// the deque push and read by whichever worker executes the job — the
+/// deque hand-off is the happens-before edge, exactly as for the job's
+/// closure. `final_span` flows the other way: the executor writes it
+/// before signaling the job's completion latch, and the joining owner
+/// reads it after acquiring the latch. All three are zero when tracing /
+/// profiling is off, and the spawn path pays nothing beyond the existing
+/// enabled checks.
 #[repr(C)]
 pub struct JobHeader {
     execute_fn: unsafe fn(*const ()),
+    /// DAG task id from [`cilkm_obs::trace::next_task_id`] (0 = tracing
+    /// off at spawn time).
+    task_id: Cell<u64>,
+    /// The spawning strand's `(span, bspan)` at the spawn point.
+    spawn_span: Cell<(u64, u64)>,
+    /// The executed strand's final `(span, bspan)`; published by the
+    /// latch handshake.
+    final_span: UnsafeCell<(u64, u64)>,
 }
 
 impl JobHeader {
     /// Builds a header around a job's execute function (for job types
     /// defined outside this module, e.g. scope tasks).
     pub fn new(execute_fn: unsafe fn(*const ())) -> JobHeader {
-        JobHeader { execute_fn }
+        JobHeader {
+            execute_fn,
+            task_id: Cell::new(0),
+            spawn_span: Cell::new((0, 0)),
+            final_span: UnsafeCell::new((0, 0)),
+        }
+    }
+
+    /// Stamps the task's DAG id and its spawn point's span pair. Called
+    /// by the spawning worker before the job is pushed (the deque
+    /// publish orders it before any foreign read).
+    pub fn prepare(&self, task_id: u64, spawn_span: (u64, u64)) {
+        self.task_id.set(task_id);
+        self.spawn_span.set(spawn_span);
+    }
+
+    /// The task's DAG id (0 when tracing was off at spawn time).
+    pub fn task_id(&self) -> u64 {
+        self.task_id.get()
+    }
+
+    /// The spawning strand's span pair at the spawn point.
+    pub fn spawn_span(&self) -> (u64, u64) {
+        self.spawn_span.get()
+    }
+
+    /// Stores the executed strand's final span pair.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the executing worker, before it signals the job's
+    /// completion latch (the latch's release publishes the write).
+    pub(crate) unsafe fn set_final_span(&self, v: (u64, u64)) {
+        *self.final_span.get() = v;
+    }
+
+    /// Reads the executed strand's final span pair.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have synchronized with the completion (latch
+    /// acquire).
+    pub(crate) unsafe fn final_span(&self) -> (u64, u64) {
+        *self.final_span.get()
     }
 }
 
@@ -141,14 +204,18 @@ where
     /// Creates a frame around `func`.
     pub fn new(func: F) -> StackJob<F, R> {
         StackJob {
-            header: JobHeader {
-                execute_fn: Self::execute_foreign,
-            },
+            header: JobHeader::new(Self::execute_foreign),
             latch: SpinLatch::new(),
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(JobResult::None),
             deposit: UnsafeCell::new(None),
         }
+    }
+
+    /// The job's header (for the spawner to stamp the task id and spawn
+    /// span, and the owner to read the final span after the latch).
+    pub fn header(&self) -> &JobHeader {
+        &self.header
     }
 
     /// The type-erased reference to push on the deque.
@@ -164,6 +231,17 @@ where
     unsafe fn execute_foreign(ptr: *const ()) {
         let this = &*(ptr as *const Self);
         let func = (*this.func.get()).take().expect("job executed twice");
+        // JobBegin is emitted here — adjacent to `strand_begin` — rather
+        // than at the registry call site, so the offline DAG's strand
+        // boundaries coincide with the online profiler's segment clock
+        // (a preemption between the two would otherwise be charged to
+        // the strand by one instrument but not the other).
+        trace::emit(EventKind::JobBegin, this.header.task_id());
+        // The strand starts from the spawn point's span pair; view
+        // transferal below is inside the strand so its cost lands on the
+        // burdened side (the transferal *charge* debits the unburdened
+        // one).
+        let saved = profile::strand_begin(this.header.spawn_span());
         let res = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(r) => JobResult::Ok(r),
             Err(p) => JobResult::Panic(p),
@@ -174,7 +252,16 @@ where
         // panic so the executing worker returns to an empty context.
         let views = crate::registry::detach_current_views();
         *this.deposit.get() = Some(views);
-        // Release: result and deposit are published before the flag.
+        // SAFETY: we are the executing worker and the latch is not yet
+        // set; the release below publishes the span with the result.
+        this.header.set_final_span(profile::strand_end(saved));
+        // The strand's closing event must precede the latch: the owner
+        // may drain the trace rings the moment the latch fires, and a
+        // registry-side emit after `execute` returns would race that
+        // drain and leave a truncated strand in the DAG.
+        trace::emit(EventKind::JobEnd, this.header.task_id());
+        // Release: result, deposit, and final span are published before
+        // the flag.
         this.latch.set();
     }
 
@@ -250,13 +337,17 @@ where
     /// of `Pool::run` blocks on it).
     pub fn new(func: F, latch: &crate::latch::LockLatch) -> RootJob<F, R> {
         RootJob {
-            header: JobHeader {
-                execute_fn: Self::execute_root,
-            },
+            header: JobHeader::new(Self::execute_root),
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(JobResult::None),
             latch,
         }
+    }
+
+    /// The job's header (for `Pool::run` to stamp the root task id; the
+    /// root strand starts from a zero span pair).
+    pub fn header(&self) -> &JobHeader {
+        &self.header
     }
 
     /// The type-erased reference to inject.
@@ -269,6 +360,12 @@ where
     unsafe fn execute_root(ptr: *const ()) {
         let this = &*(ptr as *const Self);
         let func = (*this.func.get()).take().expect("root executed twice");
+        // Emitted next to `strand_begin`, as in the foreign path.
+        trace::emit(EventKind::JobBegin, this.header.task_id());
+        // The root strand: the whole region's span accumulates into this
+        // context (joins fold their children's pairs back into it), so
+        // its final pair *is* the region's span.
+        let saved = profile::strand_begin(this.header.spawn_span());
         let res = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(r) => JobResult::Ok(r),
             Err(p) => JobResult::Panic(p),
@@ -276,6 +373,12 @@ where
         *this.result.get() = res;
         // Root of the parallel region: views flow to leftmost storage.
         crate::registry::collect_root_views();
+        // SAFETY: executing worker, before the latch release publishes
+        // the write to the region's caller.
+        this.header.set_final_span(profile::strand_end(saved));
+        // Before the latch, for the same drain-race reason as the
+        // foreign path: the region's caller drains right after waiting.
+        trace::emit(EventKind::JobEnd, this.header.task_id());
         (*this.latch).set();
     }
 
@@ -286,6 +389,15 @@ where
     /// Caller must have waited on the latch.
     pub unsafe fn take_result(&self) -> JobResult<R> {
         std::mem::replace(&mut *self.result.get(), JobResult::None)
+    }
+
+    /// The root strand's final `(span, bspan)` pair.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have waited on the latch.
+    pub unsafe fn final_span(&self) -> (u64, u64) {
+        self.header.final_span()
     }
 }
 

@@ -10,6 +10,8 @@
 
 use std::panic::{self, AssertUnwindSafe};
 
+use cilkm_obs::{profile, trace, EventKind};
+
 use crate::job::{JobResult, StackJob};
 use crate::registry::WorkerThread;
 
@@ -53,24 +55,43 @@ where
     RB: Send,
 {
     let job_b = StackJob::new(b);
+    // DAG identity + the spawn point's span pair travel in the header
+    // through the deque; both calls are one relaxed load when off.
+    let tid = trace::next_task_id();
+    job_b.header().prepare(tid, profile::spawn_point());
+    trace::emit(EventKind::Spawn, tid);
     let job_ref = job_b.as_job_ref();
     worker.push(job_ref);
 
     // Run the serially-earlier side inline, in the current context.
     let ra = panic::catch_unwind(AssertUnwindSafe(a));
 
+    // The sync point: pause the current strand before the wait loop (any
+    // foreign jobs executed while waiting nest their own contexts), and
+    // remember the continuation's span pair for the fold below.
+    let left = profile::sync_pause();
+    trace::emit(EventKind::SyncBegin, tid);
+
     // Wait for b: pop it back if unstolen, leapfrog otherwise.
     let popped_own = worker.wait_for_latch(&job_b.latch, job_ref);
 
     let rb: JobResult<RB>;
     let mut deposit = None;
+    // The joined strand's final span pair ((0,0) if it never ran).
+    let mut child = (0u64, 0u64);
     if popped_own {
         if ra.is_ok() {
             worker.note_inline_join();
+            trace::emit(EventKind::StrandBegin, tid);
+            // Inline execution continues from the spawn point's pair in
+            // the owner's (paused) context slot.
+            let strand = profile::strand_begin(job_b.header().spawn_span());
             // SAFETY: we popped our own push of `job_b` before anyone
             // stole it, so it is unexecuted and this thread is its only
             // owner.
             rb = unsafe { job_b.run_inline() };
+            child = profile::strand_end(strand);
+            trace::emit(EventKind::StrandEnd, tid);
         } else {
             // a panicked and b was never stolen: serial semantics say b
             // never runs. Drop the closure unrun.
@@ -82,25 +103,42 @@ where
     } else {
         worker.note_stolen_join();
         // SAFETY: the latch is set, so the thief finished executing
-        // `job_b` and published the deposit and result before the
-        // release store `wait_for_latch` acquired; each is taken once.
+        // `job_b` and published the deposit, result, and final span
+        // before the release store `wait_for_latch` acquired; each is
+        // taken once.
         deposit = unsafe { job_b.take_deposit() };
+        // SAFETY: as above.
+        child = unsafe { job_b.header().final_span() };
         // SAFETY: as above.
         rb = unsafe { job_b.take_result() };
     }
 
     // The hypermerge (or, on a panic path, destruction of the orphaned
     // right views).
+    let mut merge_ns = 0;
     if let Some(dep) = deposit {
         let hooks = worker.registry().hooks_arc();
         if ra.is_ok() && matches!(rb, JobResult::Ok(_)) {
-            cilkm_obs::trace::emit(cilkm_obs::EventKind::MergeBegin, 0);
+            let t0 = if profile::profiling() {
+                cilkm_obs::clock::now_ns()
+            } else {
+                0
+            };
+            trace::emit(EventKind::MergeBegin, 0);
             worker.with_state(|s| hooks.merge_right(s, dep));
-            cilkm_obs::trace::emit(cilkm_obs::EventKind::MergeEnd, 0);
+            trace::emit(EventKind::MergeEnd, 0);
+            if t0 != 0 {
+                merge_ns = cilkm_obs::clock::now_ns().saturating_sub(t0);
+            }
         } else {
             hooks.discard(dep);
         }
     }
+
+    // Resume the continuation: the post-sync span is the later of the
+    // continuation and the joined strand, and the merge burdens it.
+    profile::sync_resume(left.0.max(child.0), left.1.max(child.1), merge_ns);
+    trace::emit(EventKind::SyncEnd, tid);
 
     match ra {
         Err(p) => panic::resume_unwind(p),

@@ -14,7 +14,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-use cilkm_obs::{trace, EventKind};
+use cilkm_obs::event::{current_cpu, pack_cpu};
+use cilkm_obs::{profile, trace, EventKind};
 
 use crate::msync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::msync::{thread, Mutex};
@@ -286,7 +287,16 @@ impl WorkerThread {
                     match self.registry.threads[victim].stealer.steal() {
                         Steal::Success(raw) => {
                             self.stats().steals.fetch_add(1, Ordering::Relaxed);
-                            trace::emit(EventKind::StealSuccess, victim as u64);
+                            // Victim index in the low half, thief's cpu
+                            // (for socket-locality analysis) in the high
+                            // half. The cpu lookup is gated so the steal
+                            // path pays nothing when tracing is off.
+                            if trace::enabled() {
+                                trace::emit(
+                                    EventKind::StealSuccess,
+                                    pack_cpu(victim as u64, current_cpu()),
+                                );
+                            }
                             // SAFETY: deque contents are always raw
                             // `JobRef`s (see `pop`).
                             return Some(unsafe { JobRef::from_raw(raw) });
@@ -309,12 +319,14 @@ impl WorkerThread {
     #[inline]
     fn execute_idle(&self, job: JobRef) {
         self.stats().jobs_executed.fetch_add(1, Ordering::Relaxed);
-        trace::emit(EventKind::JobBegin, 0);
         // SAFETY: popping/stealing transferred sole execution rights for
         // this job to us, and its frame outlives execution (job
-        // contract).
+        // contract). JobBegin/JobEnd are emitted *inside* execute: the
+        // begin right next to the profiler's strand clock (so both
+        // instruments bound the same interval), the end before the job
+        // signals completion (an emit after `execute` returns would race
+        // a drain triggered by that signal).
         unsafe { job.execute() };
-        trace::emit(EventKind::JobEnd, 0);
     }
 
     /// Executes a foreign job while this worker's current context is
@@ -323,15 +335,20 @@ impl WorkerThread {
     /// discipline that keeps views affixed to contexts, not workers.
     pub(crate) fn execute_suspended(&self, job: JobRef) {
         let hooks = self.registry.hooks.clone();
+        // Emit *before* the suspension runs so the Detach..JobBegin
+        // window covers the suspension work itself (flag 1 = suspend;
+        // cpu id in the high half).
+        if trace::enabled() {
+            trace::emit(EventKind::Detach, pack_cpu(1, current_cpu()));
+        }
         let saved = self.with_state(|s| hooks.suspend(s));
-        trace::emit(EventKind::Detach, 1);
         self.stats().jobs_executed.fetch_add(1, Ordering::Relaxed);
-        trace::emit(EventKind::JobBegin, 0);
-        // SAFETY: as in `execute_idle`.
+        // SAFETY: as in `execute_idle` (JobBegin/JobEnd emit inside).
         unsafe { job.execute() };
-        trace::emit(EventKind::JobEnd, 0);
         self.with_state(|s| hooks.resume(s, saved));
-        trace::emit(EventKind::Attach, 1);
+        if trace::enabled() {
+            trace::emit(EventKind::Attach, pack_cpu(1, current_cpu()));
+        }
     }
 
     /// The waiting discipline at a join: keep useful until `latch` fires.
@@ -503,9 +520,13 @@ const YIELD_TRIES: u32 = 4;
 pub(crate) fn detach_current_views() -> DetachedViews {
     let worker = WorkerThread::current().expect("detach outside worker");
     let hooks = worker.registry.hooks.clone();
-    let views = worker.with_state(|s| hooks.detach(s));
-    trace::emit(EventKind::Detach, 0);
-    views
+    // Emit *before* the detach so the Detach..JobEnd window measures the
+    // transferal itself (the DAG analyzer charges it to the strand).
+    // Flag 0 = detach-at-strand-end; cpu id in the high half.
+    if trace::enabled() {
+        trace::emit(EventKind::Detach, pack_cpu(0, current_cpu()));
+    }
+    worker.with_state(|s| hooks.detach(s))
 }
 
 /// Folds the current worker's views into leftmost storage (root task end).
@@ -675,15 +696,30 @@ impl Pool {
             "Pool::run called from inside a worker; use join() to fork instead"
         );
         let _region = self.region_lock.lock();
+        self.run_region(f).0.into_return_value()
+    }
+
+    /// One parallel region, under the region lock: inject the root job,
+    /// wait for its latch, and return the (possibly panicked) result
+    /// together with the root strand's final `(span, bspan)` pair.
+    fn run_region<F, R>(&self, f: F) -> (crate::job::JobResult<R>, (u64, u64))
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
         trace::emit(EventKind::RegionBegin, 0);
         let latch = LockLatch::new();
         let job = RootJob::new(f, &latch);
+        // The root strand's DAG id; it starts from a zero span pair.
+        job.header().prepare(trace::next_task_id(), (0, 0));
         self.registry.inject(job.as_job_ref());
         latch.wait();
         trace::emit(EventKind::RegionEnd, 0);
         // SAFETY: the latch fired, so the worker finished the root job
-        // and published its result; we take it exactly once.
-        unsafe { job.take_result() }.into_return_value()
+        // and published its result and final span; each taken once.
+        let span = unsafe { job.final_span() };
+        // SAFETY: as above.
+        (unsafe { job.take_result() }, span)
     }
 
     /// Runs `f` as a parallel region with event tracing enabled for the
@@ -707,6 +743,35 @@ impl Pool {
         let result = self.run(f);
         cilkm_obs::trace::set_enabled(was_enabled);
         (result, cilkm_obs::trace::drain().since_ns(t0))
+    }
+
+    /// Runs `f` as a parallel region with the **online work/span
+    /// profiler** on, and returns a [`cilkm_obs::ParallelismReport`]
+    /// alongside the result: work, span, parallelism, and the burdened
+    /// span with its reducer-overhead breakdown — Cilkview-style, in
+    /// constant space per worker, without draining any trace ring.
+    ///
+    /// The profiling session is process-global (like tracing), so two
+    /// overlapping `run_profiled` calls on different pools would pool
+    /// their numbers; per-pool regions already serialize. Without the
+    /// `trace` cargo feature the region still runs and the report is
+    /// all zeros.
+    pub fn run_profiled<F, R>(&self, f: F) -> (R, cilkm_obs::ParallelismReport)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        assert!(
+            WorkerThread::current().is_none(),
+            "Pool::run_profiled called from inside a worker"
+        );
+        let _region = self.region_lock.lock();
+        profile::begin_session();
+        let (result, root_final) = self.run_region(f);
+        // End the session before unwrapping so a panicking region does
+        // not leave profiling enabled.
+        let report = profile::end_session(root_final);
+        (result.into_return_value(), report)
     }
 
     /// Scheduler statistics accumulated since pool construction.
@@ -831,15 +896,14 @@ mod tests {
         assert_eq!(val, 987);
         assert_eq!(trace.count(EventKind::RegionBegin), 1);
         assert_eq!(trace.count(EventKind::RegionEnd), 1);
-        // A job's completion latch is set *inside* `execute`, so the
-        // region can end (and this drain run) before the executing
-        // worker reaches its trailing JobEnd emit. At most one end per
-        // worker can be in flight.
+        // JobEnd is emitted inside `execute`, before the completion
+        // latch — so even though this drain runs the instant the root
+        // latch fires, every begun job has its end in the rings.
         let begins = trace.count(EventKind::JobBegin);
         let ends = trace.count(EventKind::JobEnd);
         assert!(begins >= 1);
-        assert!(
-            ends <= begins && begins - ends <= 4,
+        assert_eq!(
+            begins, ends,
             "unbalanced job events: {begins} begins, {ends} ends"
         );
         // Every stolen-join merge brackets properly.

@@ -32,6 +32,8 @@ use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 
+use cilkm_obs::{profile, trace, EventKind};
+
 use crate::hooks::DetachedViews;
 use crate::job::{JobHeader, JobRef};
 use crate::latch::{Latch, SpinLatch};
@@ -47,13 +49,18 @@ pub struct Scope<'scope> {
     done: SpinLatch,
     /// Monotone spawn-order tag.
     next_index: AtomicUsize,
-    /// Deposited view sets, tagged by spawn index.
-    deposits: Mutex<Vec<(usize, DetachedViews)>>,
+    /// Deposited view sets, tagged by spawn index and carrying the
+    /// task's final `(span, bspan)` pair for the close-time fold.
+    deposits: Mutex<Vec<Deposit>>,
     /// First panic from any spawned task.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     /// Ties spawned closures' borrows to the scope call.
     _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
 }
+
+/// A spawned task's deposit: spawn index, detached views, and the
+/// task's final `(span, bspan)` pair.
+type Deposit = (usize, DetachedViews, (u64, u64));
 
 /// A boxed spawned-task closure, receiving the scope to allow sibling
 /// spawns.
@@ -74,14 +81,23 @@ impl<'scope> ScopeJob<'scope> {
         let mut job = Box::from_raw(ptr as *mut ScopeJob<'scope>);
         let scope = &*job.scope;
         let func = job.func.take().expect("scope job executed twice");
+        // Adjacent to `strand_begin`, see `StackJob::execute_foreign`.
+        trace::emit(EventKind::JobBegin, job.header.task_id());
+        let strand = profile::strand_begin(job.header.spawn_span());
         let result = panic::catch_unwind(AssertUnwindSafe(|| func(scope)));
         // Views accumulated by this task's context, tagged for ordered
         // merging (the executing worker returns to an empty context).
         let views = crate::registry::detach_current_views();
-        scope.deposits.lock().push((job.index, views));
+        // The final span rides the deposit (the job frame is freed when
+        // this function returns, so the header cannot carry it).
+        let fin = profile::strand_end(strand);
+        scope.deposits.lock().push((job.index, views, fin));
         if let Err(p) = result {
             scope.panic.lock().get_or_insert(p);
         }
+        // Before `task_done`: the owner may drain trace rings as soon as
+        // the scope's latch fires (see `StackJob::execute_foreign`).
+        trace::emit(EventKind::JobEnd, job.header.task_id());
         scope.task_done();
     }
 }
@@ -126,6 +142,9 @@ impl<'scope> Scope<'scope> {
             index,
             func: Some(Box::new(f)),
         });
+        let tid = trace::next_task_id();
+        job.header.prepare(tid, profile::spawn_point());
+        trace::emit(EventKind::Spawn, tid);
         // Leak into the deque; ScopeJob::execute reconstitutes it.
         let raw = Box::into_raw(job);
         // SAFETY: the heap job stays alive until `execute` reboxes it,
@@ -154,6 +173,13 @@ where
     // The body's own token.
     s.task_done();
 
+    // The scope close is a sync over *every* task spawned so far in this
+    // strand; it gets a fresh id of its own (a join sync's id is the
+    // joined task's, which the DAG analyzer uses to tell the two apart).
+    let sync_id = trace::next_task_id();
+    let left = profile::sync_pause();
+    trace::emit(EventKind::SyncBegin, sync_id);
+
     // Keep useful while waiting: execute our own spawned jobs (popped
     // back LIFO) or steal, exactly like waiting at a join. All scope
     // jobs run through the foreign path (suspend/resume around them),
@@ -163,16 +189,37 @@ where
     // Merge deposits in spawn order (serial-equivalent for the spawned
     // tasks among themselves).
     let mut deposits = std::mem::take(&mut *s.deposits.lock());
-    deposits.sort_by_key(|(idx, _)| *idx);
+    deposits.sort_by_key(|(idx, _, _)| *idx);
     let hooks = worker.registry().hooks_arc();
     let panicked = s.panic.lock().take();
-    for (_, views) in deposits {
-        if result.is_err() || panicked.is_some() {
+    let discard = result.is_err() || panicked.is_some();
+    let mut span = left;
+    let mut merge_ns = 0;
+    let merging = !discard && !deposits.is_empty();
+    let t0 = if merging && profile::profiling() {
+        cilkm_obs::clock::now_ns()
+    } else {
+        0
+    };
+    if merging {
+        trace::emit(EventKind::MergeBegin, 0);
+    }
+    for (_, views, fin) in deposits {
+        if discard {
             hooks.discard(views);
         } else {
             worker.with_state(|st| hooks.merge_right(st, views));
+            span = (span.0.max(fin.0), span.1.max(fin.1));
         }
     }
+    if merging {
+        trace::emit(EventKind::MergeEnd, 0);
+        if t0 != 0 {
+            merge_ns = cilkm_obs::clock::now_ns().saturating_sub(t0);
+        }
+    }
+    profile::sync_resume(span.0, span.1, merge_ns);
+    trace::emit(EventKind::SyncEnd, sync_id);
 
     match result {
         Err(p) => panic::resume_unwind(p),

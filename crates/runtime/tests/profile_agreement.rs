@@ -1,0 +1,108 @@
+//! PR-8: the online constant-space work/span profiler and the offline
+//! SP-DAG reconstruction are two independent implementations of the same
+//! Cilkview-style accounting. On a known fib-shaped DAG with busy leaves
+//! they must agree: exactly on the structural counts (spawns, syncs,
+//! strands), and within a small relative tolerance on the measured work
+//! and span (both read the same monotonic clock over the same run, so
+//! only per-event bookkeeping overhead separates them).
+//!
+//! Compiled out without the `trace` feature (the profiler and the
+//! tracer are both feature-gated to keep the hot path free).
+#![cfg(feature = "trace")]
+
+use cilkm_obs::{dag, trace};
+use cilkm_runtime::{join, Pool};
+use std::time::Instant;
+
+/// Spins for ~`ns` so every leaf strand has hand-computable weight that
+/// dwarfs scheduler bookkeeping.
+fn busy(ns: u64) -> u64 {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    while (start.elapsed().as_nanos() as u64) < ns {
+        acc = acc.wrapping_add(1);
+        std::hint::spin_loop();
+    }
+    acc
+}
+
+/// fib with one `join` per internal node and a 2 ms busy leaf: for n = 6
+/// that is 13 leaves (26 ms of work), 12 spawns, 12 syncs, and a span of
+/// one leaf plus the spine to it.
+fn fib_busy(n: u32) -> u64 {
+    if n < 2 {
+        busy(2_000_000);
+        return n as u64;
+    }
+    let (a, b) = join(|| fib_busy(n - 1), || fib_busy(n - 2));
+    a.wrapping_add(b)
+}
+
+/// `|a - b|` within `pct`% of the larger (floored at 1 to avoid 0/0).
+fn close(a: u64, b: u64, pct: f64, what: &str) {
+    let (af, bf) = (a as f64, b as f64);
+    let bound = af.max(bf).max(1.0) * pct / 100.0;
+    assert!(
+        (af - bf).abs() <= bound,
+        "{what}: online {a} vs offline {b} differ by more than {pct}%"
+    );
+}
+
+#[test]
+fn online_and_offline_agree_on_a_known_dag() {
+    let pool = Pool::new(3);
+
+    // One run, both instruments: tracing on around a profiled region so
+    // the offline DAG describes exactly the execution the online
+    // accumulator measured.
+    let t0 = cilkm_obs::clock::now_ns();
+    let was_enabled = trace::enabled();
+    trace::set_enabled(true);
+    let (value, report) = pool.run_profiled(|| fib_busy(6));
+    trace::set_enabled(was_enabled);
+    let traced = trace::drain().since_ns(t0);
+
+    assert_eq!(value, 8, "fib(6)");
+    let dropped: u64 = traced.threads.iter().map(|t| t.dropped).sum();
+    assert_eq!(dropped, 0, "rings must not truncate this tiny run");
+
+    let analysis = dag::build(&traced);
+    if analysis.warnings != 0 {
+        for t in &traced.threads {
+            eprintln!("== {}", t.label);
+            for e in &t.events {
+                eprintln!("  {:>12} {:?} {}", e.ts_ns, e.kind, e.arg);
+            }
+        }
+    }
+    assert_eq!(analysis.warnings, 0, "trace must parse cleanly");
+    assert_eq!(analysis.incomplete_spawns, 0);
+
+    // Structural counts are exact on both sides: 12 internal nodes, one
+    // spawn + one sync each, and 13 strands (root + 12 spawned tasks).
+    assert_eq!(report.spawns, 12);
+    assert_eq!(analysis.spawns, 12);
+    assert_eq!(report.syncs, 12);
+    assert_eq!(analysis.syncs, 12);
+    assert_eq!(analysis.strands, 13);
+
+    // Work is ~26 ms of busy leaves; span at least one 2 ms leaf. The
+    // two instruments bracket the same intervals with the same clock,
+    // so 25% covers their per-event bookkeeping skew with a wide berth.
+    assert!(report.work_ns >= 24_000_000, "work {} ns", report.work_ns);
+    assert!(report.span_ns >= 2_000_000, "span {} ns", report.span_ns);
+    eprintln!("ONLINE:\n{}", report.render());
+    eprintln!("OFFLINE:\n{}", analysis.render(20));
+    close(report.work_ns, analysis.work_ns, 25.0, "work");
+    close(report.span_ns, analysis.span_ns, 25.0, "span");
+    close(
+        report.burdened_span_ns,
+        analysis.burdened_span_ns,
+        25.0,
+        "burdened span",
+    );
+
+    // And both must see real parallelism in a 13-leaf balanced-ish DAG.
+    assert!(report.parallelism() > 1.5, "{}", report.render());
+    assert!(analysis.parallelism() > 1.5, "{}", analysis.render(5));
+}

@@ -34,6 +34,24 @@ extern "C" {
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
 }
 
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Returns the CPU the calling thread is running on, or -1 on error
+    /// (glibc: a vDSO/rseq read, a few nanoseconds). Linux-only; other
+    /// targets get no declaration so callers must cfg-gate their use.
+    pub fn sched_getcpu() -> c_int;
+}
+
+#[cfg(all(test, target_os = "linux", not(miri)))]
+mod sched_tests {
+    #[test]
+    fn sched_getcpu_reports_a_cpu() {
+        // SAFETY: no arguments, no preconditions; returns -1 on error.
+        let cpu = unsafe { super::sched_getcpu() };
+        assert!(cpu >= 0, "sched_getcpu failed: {cpu}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

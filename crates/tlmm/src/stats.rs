@@ -99,6 +99,7 @@ impl CrossingCounters {
     pub fn charge_palloc(&self) {
         self.palloc_calls.inc();
         trace::emit(EventKind::Palloc, 0);
+        cilkm_obs::profile::charge_crossings(1);
         pay_crossing_cost();
     }
 
@@ -107,6 +108,7 @@ impl CrossingCounters {
     pub fn charge_pfree(&self) {
         self.pfree_calls.inc();
         trace::emit(EventKind::Pfree, 0);
+        cilkm_obs::profile::charge_crossings(1);
         pay_crossing_cost();
     }
 
@@ -118,6 +120,7 @@ impl CrossingCounters {
         self.pmap_calls.inc();
         self.pmap_pages.add(pages);
         trace::emit(EventKind::Pmap, pages);
+        cilkm_obs::profile::charge_crossings(1);
         pay_crossing_cost();
     }
 }

@@ -7,12 +7,16 @@
 //! # with the event tracer compiled in, additionally records one traced
 //! # run and writes trace/metrics artifacts under bench_out/:
 //! cargo run --release --features trace --example pbfs
+//! # work/span/parallelism: the online profiled run plus, when traced,
+//! # the offline DAG reconstruction with critical-path attribution
+//! # (written to bench_out/pbfs_critical_path.txt):
+//! cargo run --release --features trace --example pbfs -- --profile
 //! ```
 
 use std::path::PathBuf;
 
 use cilkm::graph::gen;
-use cilkm::obs::{analyze, export, metrics, trace};
+use cilkm::obs::{analyze, dag, export, metrics, trace};
 use cilkm::prelude::*;
 
 /// Artifact directory: `CILKM_BENCH_OUT` if set, else `bench_out/` at
@@ -30,6 +34,19 @@ fn out_dir() -> PathBuf {
 /// writes the Chrome trace (load it in Perfetto / chrome://tracing), the
 /// lossless events CSV, and a metrics dump, then prints the analyzer's
 /// summary of the same trace.
+/// One profiled PBFS run: the online constant-space work/span
+/// accumulator, no trace ring involved. Prints the parallelism report
+/// (all zeros when the `trace` feature is off).
+fn profiled_run(g: &cilkm::graph::Graph, source: u32, serial: &[u32]) {
+    let pool = ReducerPool::new(4, Backend::Mmap);
+    let (report, pr) = cilkm::graph::pbfs_profiled(&pool, g, source, 128);
+    assert_eq!(
+        report.distances, serial,
+        "profiled run disagrees with serial"
+    );
+    print!("{}", pr.render());
+}
+
 fn traced_run(g: &cilkm::graph::Graph, source: u32, serial: &[u32]) {
     let pool = ReducerPool::new(4, Backend::Mmap);
     let metrics_before = metrics::global().snapshot();
@@ -49,7 +66,13 @@ fn traced_run(g: &cilkm::graph::Graph, source: u32, serial: &[u32]) {
         std::fs::write(&path, buf).expect("write artifact");
         println!("  wrote {}", path.display());
     };
-    write("pbfs_trace.json", &|w| export::write_chrome_json(&tr, w));
+    // Offline SP-DAG reconstruction: work/span/parallelism plus the
+    // critical path, overlaid on the Chrome trace as its own track and
+    // written out as a text report for CI to upload.
+    let analysis = dag::build(&tr);
+    write("pbfs_trace.json", &|w| {
+        export::write_chrome_json_with_path(&tr, &analysis.critical_path, w)
+    });
     write("pbfs_trace_events.csv", &|w| {
         export::write_events_csv(&tr, w)
     });
@@ -59,10 +82,16 @@ fn traced_run(g: &cilkm::graph::Graph, source: u32, serial: &[u32]) {
     write("pbfs_metrics.json", &|w| {
         export::write_metrics_json(&metrics_delta, w)
     });
+    write("pbfs_critical_path.txt", &|w| {
+        use std::io::Write as _;
+        w.write_all(analysis.render(10).as_bytes())
+    });
     print!("{}", analyze::render(&analyze::summarize(&tr)));
+    print!("{}", analysis.render(10));
 }
 
 fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
     // A Graph500-flavoured RMAT graph: skewed degrees, tiny diameter.
     let g = gen::rmat(16, 1_000_000, 0.57, 0.19, 0.19, 7);
     println!("graph: |V| = {}, |E| = {}", g.num_vertices(), g.num_edges());
@@ -90,6 +119,10 @@ fn main() {
             report.lookups,
             pool.stats().steals,
         );
+    }
+    if profile {
+        println!("\nprofiled run (mmap backend, online work/span accumulator):");
+        profiled_run(&g, source, &serial);
     }
     if trace::compiled() {
         println!("\ntraced run (mmap backend):");

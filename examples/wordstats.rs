@@ -9,6 +9,9 @@
 //!
 //! ```sh
 //! cargo run --release --example wordstats
+//! # with the `trace` feature, `--profile` additionally reports the
+//! # sweep's work, span, and parallelism from the online profiler:
+//! cargo run --release --features trace --example wordstats -- --profile
 //! ```
 
 use cilkm::prelude::*;
@@ -39,6 +42,7 @@ fn is_palindrome(w: &str) -> bool {
 }
 
 fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
     let words = corpus(500_000);
     let pool = ReducerPool::new(4, Backend::Mmap);
 
@@ -60,7 +64,7 @@ fn main() {
         vec![0u64; 26],
     );
 
-    pool.run(|| {
+    let sweep = || {
         parallel_for_each(&words, 2048, &|_, w| {
             count.add(1);
             total_len.add(w.len() as u64);
@@ -71,7 +75,15 @@ fn main() {
             let bin = (w.as_bytes()[0] - b'a') as usize;
             histogram.update(|h| h[bin] += 1);
         });
-    });
+    };
+    if profile {
+        // Same sweep, measured by the online work/span profiler (the
+        // report is all zeros unless the `trace` feature is on).
+        let ((), report) = pool.run_profiled(sweep);
+        print!("{}", report.render());
+    } else {
+        pool.run(sweep);
+    }
 
     let n = count.into_inner();
     let total = total_len.into_inner();
