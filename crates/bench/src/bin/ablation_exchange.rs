@@ -1,0 +1,411 @@
+//! Ablation: exchange-based vs copy-based view transferal (DESIGN.md §16)
+//! — the threshold study behind `DEFAULT_EXCHANGE_THRESHOLD`.
+//!
+//! PR 9 adds a second transferal strategy next to §7's copying: when a
+//! private page is dense enough, detach *exchanges* the page — the
+//! occupied descriptor leaves the region and a zeroed replacement is
+//! remapped in its place — so the cost is O(pages) in kernel crossings
+//! instead of O(views) in pointer copies. This harness measures a full
+//! detach + attach roundtrip under both strategies over the actual
+//! `cilkm-tlmm` + `cilkm-spa` substrates, sweeping the number of live
+//! views on the page and the simulated kernel-crossing latency:
+//!
+//! * **copy** — two bulk `drain_into` moves (private → public map on
+//!   detach, public → private on attach). Zero crossings; cost grows
+//!   with the view count.
+//! * **exchange** — two scattered `sys_pmap`s (replacement in on detach,
+//!   original back in on attach), replacement page prewarmed (the
+//!   backend's idle-episode `free_pages` refill). Crossing-bound; cost
+//!   independent of the view count.
+//! * **exchange (cold)** — same, plus a batched `sys_palloc` + `pfree`
+//!   per roundtrip: the worst case where no prewarmed page is ready and
+//!   the allocation lands on the detach critical path.
+//! * **exchange (batched, 16 pages)** — the regime the backend actually
+//!   runs in: `detach` queues every dense page and exchanges them all
+//!   through *one* `pmap_scatter` (§4: one call = one crossing no
+//!   matter how many pages it carries), so the crossing cost amortizes
+//!   across the batch. Reported per page.
+//!
+//! The crossover (smallest view count where batched exchange beats copy
+//! per page) is what `CILKM_EXCHANGE_THRESHOLD` ablates in vivo; the
+//! committed default (8) sits at the measured crossover for the ~1 µs
+//! crossing-cost band the paper's Table 2 implies. The single-page
+//! columns show why the threshold exists at all: an *unbatched*
+//! exchange loses to copy at any density, because two crossings buy a
+//! lot of pointer moves.
+//!
+//! The substrate sweep above deliberately isolates the *move* cost; the
+//! second half of the run is the **in-vivo threshold sweep** — the
+//! contended transferal_p99 workload (8 oversubscribed workers, 4096
+//! reducers, steal-dense regions) re-run at `K ∈ {1, 4, 8, 16, 64, ∞}`.
+//! In vivo the copy path also pays public-map pool traffic (take /
+//! recycle through the shared domain under contention) and copies
+//! *cold* pages another thread just wrote, so its crossover sits far
+//! below the cache-hot substrate number; this sweep is what the
+//! committed `DEFAULT_EXCHANGE_THRESHOLD` is actually read off.
+//!
+//! Env: CILKM_ABLATION_ITERS (default 2000 roundtrips per point),
+//! CILKM_ABLATION_ROUNDS (default 100 regions per in-vivo point),
+//! crossing costs swept over {0ns, 300ns, 1000ns, 3000ns}.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cilkm_bench::output::{write_bench_json, Table};
+use cilkm_core::library::SumMonoid;
+use cilkm_core::{Backend, Reducer, ReducerPool};
+use cilkm_runtime::parallel_for;
+use cilkm_spa::{SpaMapBox, SpaMapRef, ViewPair, VIEWS_PER_MAP};
+use cilkm_tlmm::{stats, PageArena, PageDesc, TlmmRegion};
+
+fn fake_pair(tag: usize) -> ViewPair {
+    ViewPair {
+        view: (0x10_0000 + tag * 16) as *mut u8,
+        monoid: 0x8000 as *const u8,
+    }
+}
+
+/// One copy-strategy roundtrip: detach (private → public), merger scan,
+/// attach (public → private). Ends with the views back in `private`.
+fn copy_round(private: SpaMapRef, public: SpaMapRef, nviews: usize) {
+    private.drain_into(public);
+    let mut seen = 0;
+    public.for_each_valid(|_, _| seen += 1);
+    debug_assert_eq!(seen, nviews);
+    public.drain_into(private);
+}
+
+/// One exchange-strategy roundtrip: detach swaps the prewarmed `spare`
+/// in for the occupied page (one scattered `sys_pmap`), the merger reads
+/// the detached page in place through its descriptor, attach swaps the
+/// original back (second scattered `sys_pmap`). The views never move.
+fn exchange_round(
+    region: &mut TlmmRegion,
+    arena: &PageArena,
+    occupied: PageDesc,
+    spare: PageDesc,
+    nviews: usize,
+) {
+    region.pmap_scatter(&[(0, spare)]);
+    // SAFETY: `occupied` stays a live arena page while unmapped (§4:
+    // descriptors are process-wide); only this thread touches it.
+    let detached = unsafe { SpaMapRef::from_raw(arena.page_base(occupied)) };
+    let mut seen = 0;
+    detached.for_each_valid(|_, _| seen += 1);
+    debug_assert_eq!(seen, nviews);
+    region.pmap_scatter(&[(0, occupied)]);
+}
+
+/// One *batched* exchange roundtrip over `occupied.len()` pages: all the
+/// spares swap in through a single scattered `sys_pmap` (one crossing
+/// for the whole set, §4), the merger reads every detached page in
+/// place, and a second scatter swaps the originals back.
+fn exchange_round_batched(
+    region: &mut TlmmRegion,
+    arena: &PageArena,
+    occupied: &[PageDesc],
+    spares: &[PageDesc],
+    nviews: usize,
+    plan: &mut Vec<(usize, PageDesc)>,
+) {
+    plan.clear();
+    plan.extend(spares.iter().enumerate().map(|(s, &pd)| (s, pd)));
+    region.pmap_scatter(plan);
+    for &pd in occupied {
+        // SAFETY: arena pages stay live while unmapped (§4 process-wide
+        // descriptors); only this thread touches them.
+        let detached = unsafe { SpaMapRef::from_raw(arena.page_base(pd)) };
+        let mut seen = 0;
+        detached.for_each_valid(|_, _| seen += 1);
+        debug_assert_eq!(seen, nviews);
+    }
+    plan.clear();
+    plan.extend(occupied.iter().enumerate().map(|(s, &pd)| (s, pd)));
+    region.pmap_scatter(plan);
+}
+
+/// Opaque per-iteration work (~a microsecond), same shape as the
+/// transferal_p99 gate: keeps regions alive across scheduling quanta so
+/// oversubscribed thieves actually steal.
+#[inline(never)]
+fn spin_work(units: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..units {
+        acc = acc.wrapping_add(std::hint::black_box(i).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    std::hint::black_box(acc)
+}
+
+struct InVivo {
+    wall_p50: u64,
+    wall_p99: u64,
+    wall_mean: f64,
+    copied_views: u64,
+    exchanged_pages: u64,
+    transferals: u64,
+}
+
+/// One in-vivo point: the contended transferal_p99 workload at a fixed
+/// exchange threshold. `usize::MAX` is the pure §7 copy path.
+fn invivo_point(threshold: usize, workers: usize, rounds: usize) -> InVivo {
+    let n = 4096usize;
+    let pool = ReducerPool::new(workers, Backend::Mmap);
+    pool.domain().set_exchange_threshold(threshold);
+    let reducers: Vec<Reducer<SumMonoid<u64>>> = (0..n)
+        .map(|_| Reducer::new(&pool, SumMonoid::new(), 0))
+        .collect();
+    // Short warm-up so pool spin-up and first-touch faults stay off the
+    // measured tail.
+    for _ in 0..rounds / 10 + 1 {
+        pool.run(|| {
+            parallel_for(0..n, 2, &|range| {
+                for i in range {
+                    reducers[i % n].add(1);
+                    spin_work(250);
+                }
+            });
+        });
+    }
+    let hist0 = pool.overhead_histograms();
+    let ins0 = pool.instrument();
+    for _ in 0..rounds {
+        pool.run(|| {
+            parallel_for(0..n, 2, &|range| {
+                for i in range {
+                    reducers[i % n].add(1);
+                    spin_work(250);
+                }
+            });
+        });
+    }
+    let wall = pool
+        .overhead_histograms()
+        .transferal_fine
+        .since(&hist0.transferal_fine);
+    let ins = pool.instrument().since(&ins0);
+    InVivo {
+        wall_p50: wall.quantile_upper_bound(0.50),
+        wall_p99: wall.quantile_upper_bound(0.99),
+        wall_mean: wall.mean(),
+        copied_views: ins.transferal_copied_views,
+        exchanged_pages: ins.transferal_exchanged_pages,
+        transferals: ins.transferals,
+    }
+}
+
+fn main() {
+    let iters: usize = std::env::var("CILKM_ABLATION_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+
+    let arena = Arc::new(PageArena::new());
+    let mut region = TlmmRegion::new(Arc::clone(&arena));
+    let occupied = arena.palloc();
+    let spare = arena.palloc();
+    region.pmap(0, &[occupied]);
+    // SAFETY: `occupied` is a freshly `palloc`ed zeroed page mapped at
+    // slot 0; an all-zero page is a valid empty SPA map, and only this
+    // thread accesses it.
+    let private = unsafe { SpaMapRef::from_raw(region.page_base(0)) };
+    let public_b = SpaMapBox::new();
+    let public = public_b.as_ref();
+
+    // Batched-exchange fixture: BATCH occupied pages mapped at slots
+    // 0..BATCH of their own region, plus BATCH prewarmed spares, so one
+    // `pmap_scatter` carries the whole set (the shape `detach` emits).
+    const BATCH: usize = 16;
+    let mut batch_region = TlmmRegion::new(Arc::clone(&arena));
+    let occupied_batch: Vec<PageDesc> = (0..BATCH).map(|_| arena.palloc()).collect();
+    let spares_batch: Vec<PageDesc> = (0..BATCH).map(|_| arena.palloc()).collect();
+    batch_region.pmap(0, &occupied_batch);
+    let mut plan: Vec<(usize, PageDesc)> = Vec::with_capacity(BATCH);
+
+    let view_counts = [1usize, 2, 4, 6, 8, 12, 16, 32, 64, 128, 248];
+    let crossing_costs = [0u64, 300, 1000, 3000];
+
+    let mut t = Table::new(
+        &format!(
+            "Ablation — exchange vs copy transferal (§16), ns per detach+attach roundtrip, \
+             {iters} iters/point"
+        ),
+        &[
+            "views",
+            "copy",
+            "xchg@0ns",
+            "xchg@300ns",
+            "xchg@1us",
+            "xchg@3us",
+            "cold@1us",
+            "b16@1us/pg",
+            "winner@1us",
+        ],
+    );
+    let mut json: Vec<(String, String)> = Vec::new();
+    let mut crossover: Option<usize> = None;
+
+    for &nv in &view_counts {
+        for i in 0..nv {
+            private.insert(i % VIEWS_PER_MAP, fake_pair(i));
+        }
+
+        // Copy strategy: no crossings, cost is the two bulk moves.
+        stats::set_crossing_cost_ns(0);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            copy_round(private, public, nv);
+        }
+        let copy_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+        // Exchange strategy at each simulated syscall latency, with the
+        // replacement page prewarmed (the backend's idle-episode refill).
+        let mut xchg_ns = Vec::new();
+        for &cost in &crossing_costs {
+            stats::set_crossing_cost_ns(cost);
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                exchange_round(&mut region, &arena, occupied, spare, nv);
+            }
+            xchg_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+
+        // Cold exchange at 1 µs: the replacement allocation (one batched
+        // `sys_palloc`) lands on the critical path, plus the free.
+        stats::set_crossing_cost_ns(1000);
+        let mut repl: Vec<PageDesc> = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            arena.palloc_batch(1, &mut repl);
+            exchange_round(&mut region, &arena, occupied, spare, nv);
+            arena.pfree(repl.pop().unwrap());
+        }
+        let cold_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+        // Batched exchange at 1 µs: one scatter carries all BATCH pages,
+        // so the crossing cost is paid once per roundtrip leg and
+        // amortizes to cost/BATCH per page. Reported per page so it is
+        // directly comparable with the copy column.
+        let batch_iters = iters / BATCH + 1;
+        for &pd in &occupied_batch {
+            // SAFETY: freshly palloc'ed (or clear_all'ed) arena pages;
+            // an all-zero page is a valid empty SPA map.
+            let m = unsafe { SpaMapRef::from_raw(arena.page_base(pd)) };
+            for i in 0..nv {
+                m.insert(i % VIEWS_PER_MAP, fake_pair(i));
+            }
+        }
+        stats::set_crossing_cost_ns(1000);
+        let t0 = Instant::now();
+        for _ in 0..batch_iters {
+            exchange_round_batched(
+                &mut batch_region,
+                &arena,
+                &occupied_batch,
+                &spares_batch,
+                nv,
+                &mut plan,
+            );
+        }
+        let b16_ns = t0.elapsed().as_nanos() as f64 / (batch_iters * BATCH) as f64;
+        stats::set_crossing_cost_ns(0);
+        for &pd in &occupied_batch {
+            // SAFETY: same pages as above, mapped back by the final
+            // scatter of the last roundtrip.
+            unsafe { SpaMapRef::from_raw(arena.page_base(pd)) }.clear_all();
+        }
+
+        private.clear_all();
+
+        let winner = if b16_ns < copy_ns { "exchange" } else { "copy" };
+        if crossover.is_none() && b16_ns < copy_ns {
+            crossover = Some(nv);
+        }
+        t.row(&[
+            nv.to_string(),
+            format!("{copy_ns:.0}"),
+            format!("{:.0}", xchg_ns[0]),
+            format!("{:.0}", xchg_ns[1]),
+            format!("{:.0}", xchg_ns[2]),
+            format!("{:.0}", xchg_ns[3]),
+            format!("{cold_ns:.0}"),
+            format!("{b16_ns:.0}"),
+            winner.into(),
+        ]);
+        json.push((format!("copy_v{nv}_ns"), format!("{copy_ns:.0}")));
+        json.push((format!("exchange_v{nv}_ns"), format!("{:.0}", xchg_ns[2])));
+        json.push((format!("exchange_cold_v{nv}_ns"), format!("{cold_ns:.0}")));
+        json.push((format!("exchange_b16_v{nv}_ns"), format!("{b16_ns:.0}")));
+    }
+    t.emit("ablation_exchange");
+
+    // In-vivo threshold sweep: same workload as the transferal_p99 gate.
+    let rounds: usize = std::env::var("CILKM_ABLATION_ROUNDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let workers = cilkm_bench::env_workers(8);
+    let mut tv = Table::new(
+        &format!(
+            "In-vivo threshold sweep — contended transferal at K, \
+             {workers} workers, 4096 reducers, {rounds} regions/point"
+        ),
+        &[
+            "K",
+            "transferals",
+            "copied views",
+            "xchg pages",
+            "wall p50",
+            "wall p99",
+            "wall mean",
+        ],
+    );
+    for &k in &[1usize, 4, 8, 16, 64, usize::MAX] {
+        let m = invivo_point(k, workers, rounds);
+        let klabel = if k == usize::MAX {
+            "copy-only".to_string()
+        } else {
+            k.to_string()
+        };
+        tv.row(&[
+            klabel.clone(),
+            m.transferals.to_string(),
+            m.copied_views.to_string(),
+            m.exchanged_pages.to_string(),
+            format!("{}ns", m.wall_p50),
+            format!("{}ns", m.wall_p99),
+            format!("{:.0}ns", m.wall_mean),
+        ]);
+        // Deliberately ungated keys (no `_ns` suffix): single 100-region
+        // points on an oversubscribed host are too noisy for a 300%
+        // trend gate; the trajectory-gated numbers live in
+        // BENCH_transferal.json. These ride along as description.
+        json.push((format!("invivo_p99_at_k_{klabel}"), m.wall_p99.to_string()));
+        json.push((
+            format!("invivo_mean_at_k_{klabel}"),
+            format!("{:.0}", m.wall_mean),
+        ));
+    }
+    tv.emit("ablation_exchange_invivo");
+
+    json.push((
+        "crossover_views_batched_at_1us".into(),
+        crossover.map_or_else(|| "null".into(), |v| v.to_string()),
+    ));
+    json.push(("default_threshold".into(), "8".into()));
+    write_bench_json("ablation_exchange", &json);
+
+    let snap = arena.crossings().snapshot();
+    println!(
+        "total simulated kernel crossings this run: {}",
+        snap.total_crossings()
+    );
+    match crossover {
+        Some(v) => println!(
+            "\ncrossover at 1 µs crossings, 16-page batches: exchange wins \
+             from {v} views/page (committed default threshold: 8)"
+        ),
+        None => {
+            println!("\ncopy won per page at every view count at 1 µs crossings (16-page batches)")
+        }
+    }
+}

@@ -110,6 +110,13 @@ pub fn extract(text: &str) -> Metrics {
             ) {
                 let v = if verdict == "pass" { 0.0 } else { 1.0 };
                 out.insert(format!("{test}@{engine}/verdict"), v);
+                // Schedule coverage rides along as a higher-is-better
+                // metric: a big drop means the exploration got pruned
+                // down (a dependence-relation bug can silently shrink
+                // the searched space while every verdict stays green).
+                if let Some(v) = field(line, "schedules").and_then(|v| v.parse::<f64>().ok()) {
+                    out.insert(format!("{test}@{engine}/schedules"), v);
+                }
             }
         }
     } else {
@@ -133,9 +140,11 @@ pub fn extract(text: &str) -> Metrics {
 }
 
 /// Compares current metrics against a baseline. A metric regresses when
-/// it *grows* past `tolerance_pct` percent of the baseline (all our
-/// metrics are lower-is-better); verdict metrics (0 = pass) use zero
-/// tolerance so any new failure is flagged. Metrics present on only one
+/// it *grows* past `tolerance_pct` percent of the baseline (almost all
+/// our metrics are lower-is-better); verdict metrics (0 = pass) use zero
+/// tolerance so any new failure is flagged, and `/schedules` coverage
+/// metrics invert — they regress when the explored-schedule count
+/// *shrinks* by more than the tolerance. Metrics present on only one
 /// side are reported through `missing` (benchmarks legitimately come and
 /// go across commits; that is a review concern, not a gate failure).
 pub fn compare(
@@ -155,7 +164,12 @@ pub fn compare(
         } else {
             tolerance_pct
         };
-        if cur > base * (1.0 + tol / 100.0) + f64::EPSILON {
+        let worse = if key.ends_with("/schedules") {
+            cur < base * (1.0 - tol / 100.0) - f64::EPSILON
+        } else {
+            cur > base * (1.0 + tol / 100.0) + f64::EPSILON
+        };
+        if worse {
             out.push(Regression {
                 key: key.clone(),
                 baseline: base,
@@ -174,7 +188,7 @@ pub fn render(file: &str, regressions: &[Regression]) -> String {
     for r in regressions {
         let _ = writeln!(
             s,
-            "REGRESSION {file}: {} {:.2} -> {:.2} (+{:.1}%, tolerance {:.0}%)",
+            "REGRESSION {file}: {} {:.2} -> {:.2} ({:+.1}%, tolerance {:.0}%)",
             r.key,
             r.baseline,
             r.current,
@@ -240,10 +254,29 @@ mod tests {
     }
 
     #[test]
-    fn exploration_runs_extract_verdicts() {
+    fn exploration_runs_extract_verdicts_and_schedule_coverage() {
         let m = extract(RUNS_DOC);
-        assert_eq!(m.len(), 2);
+        assert_eq!(m.len(), 4);
         assert_eq!(m["obs::ring@dpor/verdict"], 0.0);
+        assert_eq!(m["obs::ring@dpor/schedules"], 24.0);
+        assert_eq!(m["tlmm::pmap@pct/schedules"], 64.0);
+    }
+
+    #[test]
+    fn schedule_coverage_shrink_is_flagged_growth_is_not() {
+        let base = extract(RUNS_DOC);
+        // Coverage collapse (24 -> 6 schedules, -75%): flagged at 25%
+        // tolerance, tolerated at 80%.
+        let cur = extract(&RUNS_DOC.replace("\"schedules\":24", "\"schedules\":6"));
+        let mut missing = Vec::new();
+        let regs = compare(&base, &cur, 25.0, &mut missing);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "obs::ring@dpor/schedules");
+        assert!((regs[0].growth_pct() + 75.0).abs() < 0.1);
+        assert!(compare(&base, &cur, 80.0, &mut missing).is_empty());
+        // Exploring *more* schedules is never a regression.
+        let grown = extract(&RUNS_DOC.replace("\"schedules\":24", "\"schedules\":240"));
+        assert!(compare(&base, &grown, 0.0, &mut missing).is_empty());
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod imp {
     pub(super) static SYNCS: AtomicU64 = AtomicU64::new(0);
 
     /// Burden breakdown (indexed by `Burden as usize`), plus crossings.
-    pub(super) static BURDEN_NS: [AtomicU64; 4] = [const { AtomicU64::new(0) }; 4];
+    pub(super) static BURDEN_NS: [AtomicU64; 5] = [const { AtomicU64::new(0) }; 5];
     pub(super) static CROSSINGS: AtomicU64 = AtomicU64::new(0);
 
     /// The last finished session's results, for the metrics source.
@@ -121,6 +121,12 @@ pub enum Burden {
     Transferal = 2,
     /// Folding spawned views at a join.
     Hypermerge = 3,
+    /// The page-exchange slice of a transferal: swapping occupied pages
+    /// out of the region wholesale (batched `sys_palloc` + scattered
+    /// `sys_pmap`) instead of copying views pair-by-pair. Split from
+    /// [`Burden::Transferal`] so experiments can see how much of the
+    /// steal-path burden the exchange crossings account for.
+    TransferalExchange = 4,
 }
 
 impl Burden {
@@ -131,6 +137,7 @@ impl Burden {
             Burden::ViewInsertion => "view_insertion",
             Burden::Transferal => "transferal",
             Burden::Hypermerge => "hypermerge",
+            Burden::TransferalExchange => "transferal_exchange",
         }
     }
 }
@@ -146,15 +153,22 @@ pub struct BurdenBreakdown {
     pub transferal_ns: u64,
     /// Hypermerge ns ([`Burden::Hypermerge`]).
     pub hypermerge_ns: u64,
+    /// Page-exchange ns ([`Burden::TransferalExchange`]) — the slice of
+    /// transferal time spent swapping pages rather than copying views.
+    pub transferal_exchange_ns: u64,
     /// Simulated kernel crossings (`sys_palloc`/`sys_pfree`/`sys_pmap`
     /// count, not ns — their latency is inside the other categories).
     pub crossings: u64,
 }
 
 impl BurdenBreakdown {
-    /// Total charged ns across the four timed categories.
+    /// Total charged ns across the timed categories.
     pub fn total_ns(&self) -> u64 {
-        self.view_creation_ns + self.view_insertion_ns + self.transferal_ns + self.hypermerge_ns
+        self.view_creation_ns
+            + self.view_insertion_ns
+            + self.transferal_ns
+            + self.hypermerge_ns
+            + self.transferal_exchange_ns
     }
 }
 
@@ -214,8 +228,8 @@ impl ParallelismReport {
         ));
         let b = &self.burden;
         s.push_str(&format!(
-            "  burden: creation {} ns, insertion {} ns, transferal {} ns, hypermerge {} ns, {} crossings\n",
-            b.view_creation_ns, b.view_insertion_ns, b.transferal_ns, b.hypermerge_ns, b.crossings
+            "  burden: creation {} ns, insertion {} ns, transferal {} ns (exchange {} ns), hypermerge {} ns, {} crossings\n",
+            b.view_creation_ns, b.view_insertion_ns, b.transferal_ns, b.transferal_exchange_ns, b.hypermerge_ns, b.crossings
         ));
         s
     }
@@ -284,6 +298,8 @@ pub fn end_session(root_final: (u64, u64)) -> ParallelismReport {
                 .load(Ordering::Relaxed),
             transferal_ns: imp::BURDEN_NS[Burden::Transferal as usize].load(Ordering::Relaxed),
             hypermerge_ns: imp::BURDEN_NS[Burden::Hypermerge as usize].load(Ordering::Relaxed),
+            transferal_exchange_ns: imp::BURDEN_NS[Burden::TransferalExchange as usize]
+                .load(Ordering::Relaxed),
             crossings: imp::CROSSINGS.load(Ordering::Relaxed),
         };
         let report = ParallelismReport {
@@ -452,7 +468,7 @@ pub fn charge(kind: Burden, ns: u64) {
         if !profiling() || ns == 0 {
             return;
         }
-        // SAFETY: `Burden` discriminants are 0..=3 and BURDEN_NS has 4
+        // SAFETY: `Burden` discriminants are 0..=4 and BURDEN_NS has 5
         // slots, so the index is always in bounds.
         unsafe { imp::BURDEN_NS.get_unchecked(kind as usize) }
             .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
@@ -523,6 +539,10 @@ fn register_metrics_source() {
             out.counter(
                 "burden_hypermerge_ns",
                 imp::BURDEN_NS[Burden::Hypermerge as usize].load(Ordering::Relaxed),
+            );
+            out.counter(
+                "burden_transferal_exchange_ns",
+                imp::BURDEN_NS[Burden::TransferalExchange as usize].load(Ordering::Relaxed),
             );
             out.counter("crossings", imp::CROSSINGS.load(Ordering::Relaxed));
         }

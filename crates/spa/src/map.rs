@@ -357,6 +357,57 @@ impl SpaMapRef {
         self.debug_validate_counts();
     }
 
+    /// Bulk view transferal: moves every valid element of this map into
+    /// `dst` — which must be empty — **carrying the log state over
+    /// verbatim**, and leaves this map empty (counts reset per footnote
+    /// 6). Unlike pairing [`SpaMapRef::drain`] with per-element
+    /// [`SpaMapRef::insert`], the destination does not replay the logging
+    /// protocol: live log entries (stale ones included — sequencing skips
+    /// nulls) are copied as bytes and an overflowed source leaves the
+    /// destination in scan-everything mode, so the destination sequences
+    /// exactly like the source would have. Returns the number of views
+    /// moved.
+    ///
+    /// The destination may carry *stale* log state of its own (entries —
+    /// or even an overflow marker — left behind by an insert/remove
+    /// history; `remove` never rewinds the log): with every view slot
+    /// null those entries can never be sequenced, so the carried-over
+    /// log count simply overwrites them.
+    pub fn drain_into(&self, dst: SpaMapRef) -> usize {
+        debug_assert!(dst.is_empty(), "drain_into over a non-empty map");
+        let moved = self.nvalid_raw();
+        if moved != 0 {
+            let nlog = self.nlog_raw();
+            if nlog == LOG_OVERFLOWED {
+                for idx in 0..VIEWS_PER_MAP {
+                    let pair = self.view_raw(idx);
+                    if !pair.is_null() {
+                        self.set_view_raw(idx, ViewPair::NULL);
+                        dst.set_view_raw(idx, pair);
+                    }
+                }
+                dst.set_nlog_raw(LOG_OVERFLOWED);
+            } else {
+                for i in 0..nlog as usize {
+                    let idx = self.log_raw(i) as usize;
+                    dst.set_log_raw(i, idx as u8);
+                    let pair = self.view_raw(idx);
+                    if !pair.is_null() {
+                        self.set_view_raw(idx, ViewPair::NULL);
+                        dst.set_view_raw(idx, pair);
+                    }
+                }
+                dst.set_nlog_raw(nlog);
+            }
+            dst.set_nvalid_raw(moved);
+        }
+        self.set_nvalid_raw(0);
+        self.set_nlog_raw(0);
+        self.debug_validate_counts();
+        dst.debug_validate_counts();
+        moved as usize
+    }
+
     /// Debug-build invariant check: `nvalid` must equal the number of
     /// non-null view slots, every live log entry must index a real slot,
     /// and a non-overflowed log can never exceed its capacity. Release
@@ -549,6 +600,96 @@ mod tests {
         assert_eq!(drained, LOG_CAPACITY + 2);
         assert!(m.is_empty());
         assert!(!m.log_overflowed(), "drain resets overflow state");
+    }
+
+    #[test]
+    fn drain_into_moves_views_and_log_state() {
+        let src_b = SpaMapBox::new();
+        let dst_b = SpaMapBox::new();
+        let src = src_b.as_ref();
+        let dst = dst_b.as_ref();
+        src.insert(1, pair(1));
+        src.insert(9, pair(9));
+        src.insert(200, pair(200));
+        src.remove(9); // leaves a stale log entry behind
+        let moved = src.drain_into(dst);
+        assert_eq!(moved, 2);
+        assert!(src.is_empty());
+        assert_eq!(src.nlog(), 0);
+        assert_eq!(dst.nvalid(), 2);
+        assert_eq!(dst.get(1), pair(1));
+        assert_eq!(dst.get(200), pair(200));
+        assert!(dst.get(9).is_null(), "removed slot stays empty");
+        // The destination sequences exactly the surviving views.
+        let mut seen = Vec::new();
+        dst.for_each_valid(|idx, p| seen.push((idx, p)));
+        seen.sort_by_key(|e| e.0);
+        assert_eq!(seen, vec![(1, pair(1)), (200, pair(200))]);
+        // Both maps are recyclable afterwards.
+        assert_eq!(src.insert(3, pair(3)), InsertOutcome::Logged);
+        src.clear_all();
+        dst.clear_all();
+    }
+
+    #[test]
+    fn drain_into_carries_overflow_mode() {
+        let src_b = SpaMapBox::new();
+        let dst_b = SpaMapBox::new();
+        let src = src_b.as_ref();
+        let dst = dst_b.as_ref();
+        for i in 0..LOG_CAPACITY + 5 {
+            src.insert(i, pair(i));
+        }
+        assert!(src.log_overflowed());
+        let moved = src.drain_into(dst);
+        assert_eq!(moved, LOG_CAPACITY + 5);
+        assert!(src.is_empty());
+        assert!(!src.log_overflowed(), "source overflow state resets");
+        assert!(dst.log_overflowed(), "destination inherits scan mode");
+        let mut count = 0;
+        dst.for_each_valid(|_, _| count += 1);
+        assert_eq!(count, LOG_CAPACITY + 5);
+        dst.clear_all();
+    }
+
+    #[test]
+    fn drain_into_empty_source_is_a_noop() {
+        let src_b = SpaMapBox::new();
+        let dst_b = SpaMapBox::new();
+        assert_eq!(src_b.as_ref().drain_into(dst_b.as_ref()), 0);
+        assert!(dst_b.as_ref().is_empty());
+    }
+
+    #[test]
+    fn drain_into_overwrites_a_stale_destination_log() {
+        // An insert/remove history leaves the destination empty but with
+        // live-looking log entries (`remove` never rewinds the log) —
+        // exactly the state of a private region page whose views were
+        // all individually removed. The bulk move must overwrite that
+        // stale state, not trip over it.
+        let src_b = SpaMapBox::new();
+        let dst_b = SpaMapBox::new();
+        let src = src_b.as_ref();
+        let dst = dst_b.as_ref();
+        for i in 0..8 {
+            dst.insert(i, pair(i));
+        }
+        for i in 0..8 {
+            dst.remove(i);
+        }
+        assert!(dst.is_empty());
+        assert_eq!(dst.nlog(), 8, "precondition: stale log entries");
+
+        src.insert(5, pair(50));
+        src.insert(40, pair(40));
+        assert_eq!(src.drain_into(dst), 2);
+        assert_eq!(dst.nvalid(), 2);
+        assert_eq!(dst.nlog(), 2, "stale log state overwritten");
+        let mut seen = Vec::new();
+        dst.for_each_valid(|idx, p| seen.push((idx, p)));
+        seen.sort_by_key(|e| e.0);
+        assert_eq!(seen, vec![(5, pair(50)), (40, pair(40))]);
+        dst.clear_all();
     }
 
     #[test]

@@ -40,7 +40,8 @@ struct ArenaInner {
 pub struct PageArenaStats {
     /// Pages currently allocated and not yet freed.
     pub live_pages: usize,
-    /// Total `palloc` calls served by this arena.
+    /// Total pages handed out by this arena (a batched `palloc` counts
+    /// once per page here, though it is a single kernel crossing).
     pub total_allocs: u64,
     /// Total `pfree` calls served by this arena.
     pub total_frees: u64,
@@ -105,10 +106,43 @@ impl PageArena {
         assert!(!page.is_null(), "simulated physical memory exhausted");
 
         let mut inner = self.inner.lock();
-        inner.live += 1;
+        let pd = Self::insert_live_page(&mut inner, page);
         self.peak_live
             .fetch_max(inner.live as u64, Ordering::Relaxed);
-        let pd = if inner.free_head != u32::MAX {
+        self.debug_validate(&inner);
+        pd
+    }
+
+    /// Simulated batched `sys_palloc`: allocates `n` zeroed physical
+    /// pages and appends their descriptors to `out`, charging a **single**
+    /// kernel crossing for the whole batch (the §4 batching argument — a
+    /// batched allocation syscall amortizes the crossing the same way a
+    /// multi-page `sys_pmap` does).
+    pub fn palloc_batch(&self, n: usize, out: &mut Vec<PageDesc>) {
+        if n == 0 {
+            return;
+        }
+        self.crossings.charge_palloc_batch(n as u64);
+        self.total_allocs.fetch_add(n as u64, Ordering::Relaxed);
+        out.reserve(n);
+        let mut inner = self.inner.lock();
+        for _ in 0..n {
+            // SAFETY: `page_layout()` is the non-zero-sized 4-KiB layout.
+            let page = unsafe { alloc_zeroed(page_layout()) };
+            assert!(!page.is_null(), "simulated physical memory exhausted");
+            out.push(Self::insert_live_page(&mut inner, page));
+        }
+        self.peak_live
+            .fetch_max(inner.live as u64, Ordering::Relaxed);
+        self.debug_validate(&inner);
+    }
+
+    /// Installs a freshly allocated page into the slot table (free-list
+    /// slot if available, otherwise a new slot) and returns its
+    /// descriptor. Caller holds the arena lock and handles stats.
+    fn insert_live_page(inner: &mut ArenaInner, page: *mut u8) -> PageDesc {
+        inner.live += 1;
+        if inner.free_head != u32::MAX {
             let idx = inner.free_head;
             match inner.slots[idx as usize] {
                 Slot::Free(next) => inner.free_head = next,
@@ -124,9 +158,7 @@ impl PageArena {
             );
             inner.slots.push(Slot::Live(page));
             PageDesc(idx as u32)
-        };
-        self.debug_validate(&inner);
-        pd
+        }
     }
 
     /// Simulated `sys_pfree`: frees a descriptor and its physical page.
@@ -339,6 +371,58 @@ mod tests {
     fn pfree_null_panics() {
         let arena = PageArena::new();
         arena.pfree(PD_NULL);
+    }
+
+    #[test]
+    fn palloc_batch_charges_one_crossing_for_n_pages() {
+        let arena = PageArena::new();
+        let mut pds = Vec::new();
+        arena.palloc_batch(6, &mut pds);
+        assert_eq!(pds.len(), 6);
+        assert_eq!(arena.live_pages(), 6);
+        let s = arena.crossings().snapshot();
+        assert_eq!(s.palloc_calls, 1, "one crossing for the whole batch");
+        assert_eq!(s.palloc_pages, 6);
+        // Pages are distinct, live, and zeroed — same contract as palloc.
+        let mut bases = std::collections::HashSet::new();
+        for &pd in &pds {
+            assert!(arena.is_live(pd));
+            let base = arena.page_base(pd);
+            assert!(bases.insert(base as usize), "duplicate page in batch");
+            // SAFETY: `pd` is live; reads byte 0 of the page.
+            unsafe { assert_eq!(*base, 0) };
+        }
+        for pd in pds {
+            arena.pfree(pd);
+        }
+        assert_eq!(arena.live_pages(), 0);
+    }
+
+    #[test]
+    fn palloc_batch_zero_is_free() {
+        let arena = PageArena::new();
+        let mut pds = Vec::new();
+        arena.palloc_batch(0, &mut pds);
+        assert!(pds.is_empty());
+        assert_eq!(arena.crossings().snapshot().total_crossings(), 0);
+    }
+
+    #[test]
+    fn palloc_batch_reuses_freed_descriptors() {
+        let arena = PageArena::new();
+        let a = arena.palloc();
+        let b = arena.palloc();
+        arena.pfree(a);
+        arena.pfree(b);
+        let mut pds = Vec::new();
+        arena.palloc_batch(3, &mut pds);
+        // Two recycled slots plus one fresh one.
+        let mut raws: Vec<u32> = pds.iter().map(|p| p.raw()).collect();
+        raws.sort_unstable();
+        assert_eq!(raws, vec![0, 1, 2]);
+        for pd in pds {
+            arena.pfree(pd);
+        }
     }
 
     #[test]

@@ -125,6 +125,46 @@ impl TlmmRegion {
         }
     }
 
+    /// Simulated scattered `sys_pmap`: installs `(page, descriptor)`
+    /// entries at arbitrary (not necessarily contiguous) region pages in
+    /// one call — still a **single** kernel crossing charged with one
+    /// page-table entry per element, the same §4 batching argument as
+    /// [`TlmmRegion::pmap`]. [`PD_NULL`] entries remove mappings. This is
+    /// the call the exchange-based view transferal uses to swap a batch
+    /// of occupied pages out of the region and zeroed replacements in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any non-null descriptor is not live in the arena.
+    pub fn pmap_scatter(&mut self, entries: &[(usize, PageDesc)]) {
+        self.arena.crossings().charge_pmap(entries.len() as u64);
+        self.pmap_calls += 1;
+
+        let end = entries.iter().map(|&(p, _)| p + 1).max().unwrap_or(0);
+        if end > self.table.len() {
+            self.table.resize(end, PD_NULL);
+            self.bases.resize(end, std::ptr::null_mut());
+        }
+        for &(page, pd) in entries {
+            if pd.is_null() {
+                self.table[page] = PD_NULL;
+                self.bases[page] = std::ptr::null_mut();
+            } else {
+                let base = self.arena.page_base(pd);
+                debug_assert!(
+                    !self
+                        .table
+                        .iter()
+                        .enumerate()
+                        .any(|(other, &mapped)| other != page && mapped == pd),
+                    "descriptor {pd:?} mapped at two pages of one region"
+                );
+                self.table[page] = pd;
+                self.bases[page] = base;
+            }
+        }
+    }
+
     /// Number of `pmap` calls this region has made.
     pub fn pmap_calls(&self) -> u64 {
         self.pmap_calls
@@ -320,6 +360,48 @@ mod tests {
         assert_eq!(region.pmap_calls(), 2);
         arena.pfree(a);
         arena.pfree(b);
+    }
+
+    #[test]
+    fn pmap_scatter_installs_noncontiguous_entries_in_one_crossing() {
+        let (arena, mut region) = setup();
+        let a = arena.palloc();
+        let b = arena.palloc();
+        let before = arena.crossings().snapshot();
+        region.pmap_scatter(&[(0, a), (7, b)]);
+        let d = arena.crossings().snapshot().since(&before);
+        assert_eq!(d.pmap_calls, 1, "one crossing for the scattered batch");
+        assert_eq!(d.pmap_pages, 2);
+        assert_eq!(region.desc_at(0), a);
+        assert_eq!(region.desc_at(7), b);
+        assert_eq!(region.mapped_pages(), 2);
+        assert!(region.page_base(3).is_null());
+        // Mixed install/unmap in one scattered call.
+        region.pmap_scatter(&[(0, PD_NULL)]);
+        assert_eq!(region.desc_at(0), PD_NULL);
+        assert_eq!(region.mapped_pages(), 1);
+        arena.pfree(a);
+        arena.pfree(b);
+    }
+
+    #[test]
+    fn pmap_scatter_swaps_a_page_for_a_replacement() {
+        // The exchange-transferal shape: the occupied page goes out, a
+        // zeroed replacement comes in, both in one crossing.
+        let (arena, mut region) = setup();
+        let occupied = arena.palloc();
+        region.pmap(3, &[occupied]);
+        region.write_byte(TlmmAddr::from_parts(3, 9), 0x5A);
+        let replacement = arena.palloc();
+        region.pmap_scatter(&[(3, replacement)]);
+        assert_eq!(region.desc_at(3), replacement);
+        // The region now sees a zeroed page; the occupied page's bytes
+        // survive for whoever holds its descriptor.
+        assert_eq!(region.read_byte(TlmmAddr::from_parts(3, 9)), 0);
+        // SAFETY: `occupied` is still live (freed below, after the read).
+        unsafe { assert_eq!(*arena.page_base(occupied).add(9), 0x5A) };
+        arena.pfree(occupied);
+        arena.pfree(replacement);
     }
 
     #[test]

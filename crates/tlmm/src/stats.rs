@@ -32,6 +32,10 @@ static CROSSING_COST_NS: AtomicU64 = AtomicU64::new(0);
 pub struct CrossingSnapshot {
     /// `sys_palloc` calls.
     pub palloc_calls: u64,
+    /// Individual pages allocated by `palloc` calls (a batched call
+    /// allocates many pages for one crossing, per the §4 batching
+    /// argument).
+    pub palloc_pages: u64,
     /// `sys_pfree` calls.
     pub pfree_calls: u64,
     /// `sys_pmap` calls.
@@ -51,6 +55,7 @@ impl CrossingSnapshot {
     pub fn since(&self, earlier: &CrossingSnapshot) -> CrossingSnapshot {
         CrossingSnapshot {
             palloc_calls: self.palloc_calls - earlier.palloc_calls,
+            palloc_pages: self.palloc_pages - earlier.palloc_pages,
             pfree_calls: self.pfree_calls - earlier.pfree_calls,
             pmap_calls: self.pmap_calls - earlier.pmap_calls,
             pmap_pages: self.pmap_pages - earlier.pmap_pages,
@@ -68,6 +73,7 @@ impl CrossingSnapshot {
 #[derive(Debug, Default)]
 pub struct CrossingCounters {
     palloc_calls: Counter,
+    palloc_pages: Counter,
     pfree_calls: Counter,
     pmap_calls: Counter,
     pmap_pages: Counter,
@@ -78,6 +84,7 @@ impl CrossingCounters {
     pub const fn new() -> CrossingCounters {
         CrossingCounters {
             palloc_calls: Counter::new(),
+            palloc_pages: Counter::new(),
             pfree_calls: Counter::new(),
             pmap_calls: Counter::new(),
             pmap_pages: Counter::new(),
@@ -88,6 +95,7 @@ impl CrossingCounters {
     pub fn snapshot(&self) -> CrossingSnapshot {
         CrossingSnapshot {
             palloc_calls: self.palloc_calls.get(),
+            palloc_pages: self.palloc_pages.get(),
             pfree_calls: self.pfree_calls.get(),
             pmap_calls: self.pmap_calls.get(),
             pmap_pages: self.pmap_pages.get(),
@@ -98,7 +106,20 @@ impl CrossingCounters {
     #[inline]
     pub fn charge_palloc(&self) {
         self.palloc_calls.inc();
+        self.palloc_pages.inc();
         trace::emit(EventKind::Palloc, 0);
+        cilkm_obs::profile::charge_crossings(1);
+        pay_crossing_cost();
+    }
+
+    /// Charges one simulated batched `sys_palloc` crossing allocating
+    /// `pages` pages (one crossing regardless of the batch size — the §4
+    /// batching argument, same as [`CrossingCounters::charge_pmap`]).
+    #[inline]
+    pub fn charge_palloc_batch(&self, pages: u64) {
+        self.palloc_calls.inc();
+        self.palloc_pages.add(pages);
+        trace::emit(EventKind::Palloc, pages);
         cilkm_obs::profile::charge_crossings(1);
         pay_crossing_cost();
     }
@@ -166,18 +187,21 @@ mod tests {
     fn snapshot_since_subtracts_componentwise() {
         let a = CrossingSnapshot {
             palloc_calls: 10,
+            palloc_pages: 40,
             pfree_calls: 4,
             pmap_calls: 7,
             pmap_pages: 70,
         };
         let b = CrossingSnapshot {
             palloc_calls: 3,
+            palloc_pages: 12,
             pfree_calls: 1,
             pmap_calls: 2,
             pmap_pages: 20,
         };
         let d = a.since(&b);
         assert_eq!(d.palloc_calls, 7);
+        assert_eq!(d.palloc_pages, 28);
         assert_eq!(d.pfree_calls, 3);
         assert_eq!(d.pmap_calls, 5);
         assert_eq!(d.pmap_pages, 50);
@@ -196,6 +220,7 @@ mod tests {
 
         let sa = a.crossings().snapshot();
         assert_eq!(sa.palloc_calls, 1);
+        assert_eq!(sa.palloc_pages, 1);
         assert_eq!(sa.pfree_calls, 1);
         assert_eq!(sa.pmap_calls, 0, "domain A never pmapped");
 
@@ -211,9 +236,12 @@ mod tests {
     fn charge_increments_and_respects_cost_model() {
         let counters = CrossingCounters::new();
         counters.charge_pmap(3);
+        counters.charge_palloc_batch(5);
         let s = counters.snapshot();
         assert_eq!(s.pmap_calls, 1);
         assert_eq!(s.pmap_pages, 3);
+        assert_eq!(s.palloc_calls, 1, "a batched palloc is one crossing");
+        assert_eq!(s.palloc_pages, 5);
 
         // With a visible cost the charge should take at least that long.
         set_crossing_cost_ns(200_000);
