@@ -96,8 +96,8 @@ impl DomainInner {
     /// Current detach page-exchange threshold (`nvalid() >= K` exchanges).
     pub fn exchange_threshold(&self) -> usize {
         // lint: allow(raw-sync, Relaxed-only config knob — see the field declaration)
-        self.exchange_threshold
-            .load(std::sync::atomic::Ordering::Relaxed)
+        let order = std::sync::atomic::Ordering::Relaxed;
+        self.exchange_threshold.load(order)
     }
 
     /// Sets the detach page-exchange threshold for this domain: `1`
@@ -106,8 +106,8 @@ impl DomainInner {
     /// use it to force one path deterministically.
     pub fn set_exchange_threshold(&self, k: usize) {
         // lint: allow(raw-sync, Relaxed-only config knob — see the field declaration)
-        self.exchange_threshold
-            .store(k, std::sync::atomic::Ordering::Relaxed);
+        let order = std::sync::atomic::Ordering::Relaxed;
+        self.exchange_threshold.store(k, order);
     }
 
     /// Which mechanism this domain runs.

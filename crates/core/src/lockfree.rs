@@ -643,6 +643,11 @@ impl MapPool {
             if head.is_null() {
                 return None;
             }
+            // Sanitizer lifecycle check: flags the dereference below if
+            // the node is retired and our pin does not cover its stamp
+            // — i.e. exactly the case the SAFETY argument rules out.
+            #[cfg(all(feature = "sanitize", not(feature = "model")))]
+            cilkm_san::lifecycle::check_access(head as usize, "MapPool::pop");
             // SAFETY: the pin guarantees `head` has not been freed: a
             // node is only freed once its retire stamp is older than
             // every reservation, and a node retired *before* our pin's

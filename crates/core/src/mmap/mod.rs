@@ -506,10 +506,13 @@ pub(crate) fn lookup(
             // The fast path the paper counts: dereference the slot's
             // private SPA element and test the view pointer. This read
             // bypasses the SpaMapRef accessors, so record it for the
-            // model checker explicitly (same whole-map granularity).
+            // model checker / sanitizer explicitly (same whole-map
+            // granularity). Plain builds keep the path emit-free.
             let map = *tls.pages.add(page);
             #[cfg(feature = "model")]
             cilkm_checker::trace::note_read(map.slot_ptr(0) as usize, "SpaMap");
+            #[cfg(all(not(feature = "model"), feature = "sanitize"))]
+            cilkm_san::shadow_read(map.slot_ptr(0) as usize, "SpaMap");
             let view = (*map.slot_ptr(idx)).view;
             if !view.is_null() {
                 st.last.set(LastLookup {

@@ -1,5 +1,5 @@
-//! Model-switchable synchronization facade for the reducer core — the
-//! same pattern as `cilkm-runtime/src/msync.rs` and
+//! Model- and sanitizer-switchable synchronization facade for the
+//! reducer core — the same pattern as `cilkm-runtime/src/msync.rs` and
 //! `cilkm-obs/src/msync.rs` (see DESIGN.md §10, and §12 for the lint
 //! that enforces it).
 //!
@@ -10,19 +10,22 @@
 //! collector (`reclaim`). Importing them through this module keeps them
 //! zero-cost aliases of `std::sync::atomic` in normal builds while
 //! letting `--features model` swap in `cilkm_checker`'s recorded
-//! versions, so every one of those protocols is explorable under
-//! `cilkm_checker::model(..)` like the scheduler's protocols already
-//! are.
+//! versions and `--features sanitize` swap in `cilkm_san`'s
+//! instrumented versions (real primitives + the dynamic race detectors
+//! of DESIGN.md §17; `model` wins when both features are on).
 
 #[cfg(feature = "model")]
 pub(crate) use cilkm_checker::sync::atomic;
-#[cfg(not(feature = "model"))]
+#[cfg(all(not(feature = "model"), feature = "sanitize"))]
+pub(crate) use cilkm_san::sync::atomic;
+#[cfg(not(any(feature = "model", feature = "sanitize")))]
 pub(crate) use std::sync::atomic;
 
 /// One spin-wait beat inside a loop that waits on another thread's
 /// atomic progress. In normal builds a CPU relax hint; under the model
 /// a scheduling point, so the checker can run the thread being waited
 /// on instead of counting the spin as a livelock.
+// lint: allow(san-hook-coverage, pure CPU relax hint; no memory effect to trace)
 #[inline]
 pub(crate) fn spin_hint() {
     #[cfg(feature = "model")]

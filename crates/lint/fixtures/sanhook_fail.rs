@@ -1,0 +1,22 @@
+//! Fixture: a facade in a sanitize-capable crate whose ops forgot their
+//! sanitizer branches — invisible to the detectors, caught by the rule.
+
+#[cfg(feature = "model")]
+pub(crate) use cilkm_checker::sync::atomic;
+#[cfg(not(feature = "model"))]
+pub(crate) use std::sync::atomic;
+
+/// Has a model branch but no sanitize branch: the sanitizer never sees
+/// these writes.
+pub(crate) fn note_write(addr: usize) {
+    #[cfg(feature = "model")]
+    cilkm_checker::note_write(addr);
+    #[cfg(not(feature = "model"))]
+    let _ = addr;
+}
+
+/// No hook and no waiver.
+#[inline]
+pub(crate) fn spin_hint() {
+    std::hint::spin_loop();
+}

@@ -1,0 +1,33 @@
+//! Fixture: a sanitize-capable msync facade where every op is covered —
+//! each fn either carries the three-way `cfg(feature = "sanitize")`
+//! branch calling into `cilkm_san`, or waives the rule with a reason.
+
+#[cfg(feature = "model")]
+pub(crate) use cilkm_checker::sync::atomic;
+#[cfg(all(not(feature = "model"), feature = "sanitize"))]
+pub(crate) use cilkm_san::sync::atomic;
+#[cfg(not(any(feature = "model", feature = "sanitize")))]
+pub(crate) use std::sync::atomic;
+
+/// Covered by a direct hook call under the sanitize gate.
+pub(crate) fn note_write(addr: usize) {
+    #[cfg(feature = "model")]
+    cilkm_checker::note_write(addr);
+    #[cfg(all(not(feature = "model"), feature = "sanitize"))]
+    cilkm_san::shadow_write(addr, "Slot");
+    #[cfg(not(any(feature = "model", feature = "sanitize")))]
+    let _ = addr;
+}
+
+/// Covered by the cfg gate alone (delegates to an instrumented spawn).
+#[cfg(all(not(feature = "model"), feature = "sanitize"))]
+pub(crate) fn spawn(f: impl FnOnce() + Send + 'static) {
+    cilkm_san::thread::spawn_with(None, None, f);
+}
+
+/// Nothing to trace: waived with a reason.
+// lint: allow(san-hook-coverage, pure CPU relax hint; no memory effect to trace)
+#[inline]
+pub(crate) fn spin_hint() {
+    std::hint::spin_loop();
+}

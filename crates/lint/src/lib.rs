@@ -16,7 +16,7 @@
 //! Zero dependencies, like `cilkm-checker` and `cilkm-obs`: a
 //! hand-rolled token-level lexer ([`lexer`]) that understands strings,
 //! comments, attributes, and `cfg` expressions (no `syn`), a sliver of
-//! manifest parsing ([`manifest`]), four rule families ([`rules`]), and
+//! manifest parsing ([`manifest`]), six rule families ([`rules`]), and
 //! a deterministic JSON report ([`report`]). The binary front end is
 //! `cargo run -p cilkm-lint -- --workspace`; see DESIGN.md §12 for the
 //! rule catalogue and waiver syntax.
@@ -94,6 +94,7 @@ pub fn scan_file(
     rules::cfgcheck::check(&ctx, krate, report);
     rules::unsafe_ledger::check(&ctx, report, ledger);
     rules::bounded::check(&ctx, report);
+    rules::sanhook::check(&ctx, krate, report);
     ctx.flag_unused_waivers(report);
 }
 

@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-/// The five rule families (see DESIGN.md §12).
+/// The six rule families (see DESIGN.md §12).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Facade integrity: raw `std::sync::atomic` / `Mutex` / `Condvar` /
@@ -27,6 +27,9 @@ pub enum Rule {
     /// Model-test coverage hygiene: `#[ignore]`d or
     /// `preemptions: Some(_)`-bounded model tests without a waiver.
     BoundedModel,
+    /// Sanitizer-hook coverage: an op in an `msync.rs` facade of a
+    /// `sanitize`-capable crate that never invokes a `cilkm_san` hook.
+    SanHook,
 }
 
 impl Rule {
@@ -38,6 +41,7 @@ impl Rule {
             Rule::CfgFeature => "cfg-feature",
             Rule::UnsafeLedger => "unsafe-ledger",
             Rule::BoundedModel => "bounded-model",
+            Rule::SanHook => "san-hook-coverage",
         }
     }
 
@@ -49,17 +53,19 @@ impl Rule {
             "cfg-feature" => Some(Rule::CfgFeature),
             "unsafe-ledger" => Some(Rule::UnsafeLedger),
             "bounded-model" => Some(Rule::BoundedModel),
+            "san-hook-coverage" => Some(Rule::SanHook),
             _ => None,
         }
     }
 
     /// All rules, in report order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::RawSync,
         Rule::HotPath,
         Rule::CfgFeature,
         Rule::UnsafeLedger,
         Rule::BoundedModel,
+        Rule::SanHook,
     ];
 }
 

@@ -6,9 +6,10 @@
 //! invisible to every model test, silently un-checking the protocol it
 //! participates in. This rule makes that bypass a CI failure.
 //!
-//! Outside `msync.rs` files, `crates/checker` (which *implements* the
-//! facade), and `crates/shims` (which implement the primitives), direct
-//! use of the following is an error:
+//! Outside `msync.rs` files, `crates/checker` and `crates/san` (which
+//! *implement* the facade's model and sanitizer faces), and
+//! `crates/shims` (which implement the primitives), direct use of the
+//! following is an error:
 //!
 //! * `std::sync::atomic` (any path into it),
 //! * `std::sync::{Mutex, Condvar, RwLock, Barrier}` and their guards,
@@ -43,6 +44,7 @@ pub fn exempt(path: &str) -> bool {
     let is_in = |dir: &str| path.starts_with(dir) || path.contains(&format!("/{dir}"));
     path.ends_with("msync.rs")
         || path.starts_with("crates/checker/")
+        || path.starts_with("crates/san/")
         || path.starts_with("crates/shims/")
         || is_in("tests/")
         || is_in("examples/")

@@ -1,4 +1,4 @@
-//! The rule engine: waiver parsing, per-file scan context, and the four
+//! The rule engine: waiver parsing, per-file scan context, and the six
 //! rule families.
 //!
 //! ## Waiver syntax
@@ -28,6 +28,7 @@ pub mod bounded;
 pub mod cfgcheck;
 pub mod facade;
 pub mod hotpath;
+pub mod sanhook;
 pub mod unsafe_ledger;
 
 use crate::lexer::{Comment, Lexed, Token, TokenKind};

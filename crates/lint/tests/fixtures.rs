@@ -82,6 +82,7 @@ fn facade_rule_skips_exempt_paths() {
         "crates/fixture/tests/integration.rs",
         "crates/fixture/examples/demo.rs",
         "crates/checker/src/sync.rs",
+        "crates/san/src/sync.rs",
     ] {
         let mut report = Report::default();
         let mut ledger = Vec::new();
@@ -215,6 +216,82 @@ fn bounded_rule_skips_non_model_files() {
         &mut ledger,
     );
     assert_eq!(report.count(Rule::BoundedModel), 0);
+}
+
+/// Scans a sanhook fixture as if it were the msync facade of a crate
+/// declaring `features` (the rule only looks at `msync.rs` files).
+fn scan_as_msync(name: &str, features: &[&str]) -> Report {
+    let krate = Crate {
+        dir: PathBuf::from("crates/fixture"),
+        features: features.iter().map(|s| s.to_string()).collect(),
+        files: Vec::new(),
+    };
+    let mut report = Report::default();
+    let mut ledger = Vec::new();
+    scan_file(
+        "crates/fixture/src/msync.rs",
+        &fixture(name),
+        &krate,
+        &mut report,
+        &mut ledger,
+    );
+    report.sort();
+    report
+}
+
+#[test]
+fn sanhook_pass_fixture_is_clean() {
+    let r = scan_as_msync("sanhook_pass.rs", &["model", "sanitize"]);
+    assert_eq!(unwaived(&r, Rule::SanHook), Vec::<String>::new());
+    // The waived relax hint stays visible in the report for auditing.
+    assert_eq!(
+        r.findings
+            .iter()
+            .filter(|f| f.rule == Rule::SanHook && f.waived.is_some())
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn sanhook_fail_fixture_fires_on_every_uncovered_op() {
+    let r = scan_as_msync("sanhook_fail.rs", &["model", "sanitize"]);
+    let msgs = unwaived(&r, Rule::SanHook);
+    assert_eq!(msgs.len(), 2, "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("`note_write`")));
+    assert!(msgs.iter().any(|m| m.contains("`spin_hint`")));
+}
+
+#[test]
+fn sanhook_rule_is_scoped_to_sanitize_capable_facades() {
+    // Same uncovered ops, but the crate never declares `sanitize`:
+    // there is no hook to forget, so the rule stays silent.
+    let r = scan_as_msync("sanhook_fail.rs", &["model"]);
+    assert_eq!(r.count(Rule::SanHook), 0);
+
+    // And outside msync.rs the rule does not apply even in a
+    // sanitize-capable crate.
+    let krate = Crate {
+        dir: PathBuf::from("crates/fixture"),
+        features: vec!["model".into(), "sanitize".into()],
+        files: Vec::new(),
+    };
+    for path in [
+        "crates/fixture/src/scheduler.rs",
+        "crates/san/src/msync.rs",
+        "crates/checker/src/msync.rs",
+    ] {
+        let mut report = Report::default();
+        let mut ledger = Vec::new();
+        scan_file(
+            path,
+            &fixture("sanhook_fail.rs"),
+            &krate,
+            &mut report,
+            &mut ledger,
+        );
+        assert_eq!(report.count(Rule::SanHook), 0, "{path} should be exempt");
+    }
 }
 
 #[test]

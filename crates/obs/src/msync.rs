@@ -1,30 +1,39 @@
-//! Model-switchable synchronization facade (same pattern as
-//! `cilkm-runtime/src/msync.rs`): the tracer ring's publication atomics
-//! go through here so that, under `--features model`, the single-writer /
-//! concurrent-drain protocol runs on `cilkm-checker`'s recorded
-//! primitives and can be verified by the model checker.
+//! Model- and sanitizer-switchable synchronization facade (same
+//! pattern as `cilkm-runtime/src/msync.rs`): the tracer ring's
+//! publication atomics go through here so that, under `--features
+//! model`, the single-writer / concurrent-drain protocol runs on
+//! `cilkm-checker`'s recorded primitives and can be verified by the
+//! model checker — and so that, under `--features sanitize`, real runs
+//! feed the dynamic race detectors instead (DESIGN.md §17).
 
 #[cfg(feature = "model")]
 pub(crate) use cilkm_checker::sync::atomic;
-#[cfg(not(feature = "model"))]
+#[cfg(all(not(feature = "model"), feature = "sanitize"))]
+pub(crate) use cilkm_san::sync::atomic;
+#[cfg(not(any(feature = "model", feature = "sanitize")))]
 pub(crate) use std::sync::atomic;
 
-/// Records a plain-memory write for the checker's race detector (no-op
-/// outside `--features model`). `addr` identifies the location.
+/// Records a plain-memory write for the checker's (or sanitizer's)
+/// race detector; no-op in plain builds. `addr` identifies the
+/// location.
 #[inline]
 pub(crate) fn note_write(addr: usize) {
     #[cfg(feature = "model")]
     cilkm_checker::trace::note_write(addr, "TraceRingSlot");
-    #[cfg(not(feature = "model"))]
+    #[cfg(all(not(feature = "model"), feature = "sanitize"))]
+    cilkm_san::shadow_write(addr, "TraceRingSlot");
+    #[cfg(not(any(feature = "model", feature = "sanitize")))]
     let _ = addr;
 }
 
-/// Records a plain-memory read for the checker's race detector (no-op
-/// outside `--features model`).
+/// Records a plain-memory read for the checker's (or sanitizer's) race
+/// detector; no-op in plain builds.
 #[inline]
 pub(crate) fn note_read(addr: usize) {
     #[cfg(feature = "model")]
     cilkm_checker::trace::note_read(addr, "TraceRingSlot");
-    #[cfg(not(feature = "model"))]
+    #[cfg(all(not(feature = "model"), feature = "sanitize"))]
+    cilkm_san::shadow_read(addr, "TraceRingSlot");
+    #[cfg(not(any(feature = "model", feature = "sanitize")))]
     let _ = addr;
 }

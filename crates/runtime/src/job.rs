@@ -39,6 +39,12 @@ pub struct JobHeader {
     /// The executed strand's final `(span, bspan)`; published by the
     /// latch handshake.
     final_span: UnsafeCell<(u64, u64)>,
+    /// The task's SP (series-parallel) strand label for the sanitizer's
+    /// determinacy detector; written by the spawner before the deque
+    /// push, like `task_id`. Always present (one word), dead when the
+    /// `sanitize` hooks are compiled out — same deal as `task_id` with
+    /// tracing off.
+    sp_label: Cell<u64>,
 }
 
 impl JobHeader {
@@ -50,7 +56,19 @@ impl JobHeader {
             task_id: Cell::new(0),
             spawn_span: Cell::new((0, 0)),
             final_span: UnsafeCell::new((0, 0)),
+            sp_label: Cell::new(0),
         }
+    }
+
+    /// Stamps the task's SP strand label (sanitizer builds only; the
+    /// spawner writes it before the deque push, which publishes it).
+    pub fn set_sp_label(&self, label: u64) {
+        self.sp_label.set(label);
+    }
+
+    /// The task's SP strand label (0 when the sanitizer is off).
+    pub fn sp_label(&self) -> u64 {
+        self.sp_label.get()
     }
 
     /// Stamps the task's DAG id and its spawn point's span pair. Called
@@ -242,6 +260,9 @@ where
         // burdened side (the transferal *charge* debits the unburdened
         // one).
         let saved = profile::strand_begin(this.header.spawn_span());
+        // The stolen child executes as the spawn point's right strand;
+        // view transferal below is part of it.
+        let sp_prev = crate::sanhooks::sp_enter(this.header.sp_label());
         let res = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(r) => JobResult::Ok(r),
             Err(p) => JobResult::Panic(p),
@@ -252,6 +273,7 @@ where
         // panic so the executing worker returns to an empty context.
         let views = crate::registry::detach_current_views();
         *this.deposit.get() = Some(views);
+        crate::sanhooks::sp_exit(sp_prev);
         // SAFETY: we are the executing worker and the latch is not yet
         // set; the release below publishes the span with the result.
         this.header.set_final_span(profile::strand_end(saved));
@@ -366,6 +388,9 @@ where
         // context (joins fold their children's pairs back into it), so
         // its final pair *is* the region's span.
         let saved = profile::strand_begin(this.header.spawn_span());
+        // Fresh SP region root: successive regions are mutually
+        // sequential, strands forked inside this one hang off it.
+        let sp_prev = crate::sanhooks::sp_region_enter();
         let res = match panic::catch_unwind(AssertUnwindSafe(func)) {
             Ok(r) => JobResult::Ok(r),
             Err(p) => JobResult::Panic(p),
@@ -373,6 +398,7 @@ where
         *this.result.get() = res;
         // Root of the parallel region: views flow to leftmost storage.
         crate::registry::collect_root_views();
+        crate::sanhooks::sp_exit(sp_prev);
         // SAFETY: executing worker, before the latch release publishes
         // the write to the region's caller.
         this.header.set_final_span(profile::strand_end(saved));

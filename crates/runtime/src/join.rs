@@ -59,6 +59,13 @@ where
     // through the deque; both calls are one relaxed load when off.
     let tid = trace::next_task_id();
     job_b.header().prepare(tid, profile::spawn_point());
+    // SP labels for the sanitizer's determinacy detector: the current
+    // strand forks — `a` continues as the left sibling, `b` (stolen or
+    // not) executes as the right. No-ops unless `sanitize` is on.
+    let sp_frame = crate::sanhooks::sp_current();
+    let (sp_cont, sp_child) = crate::sanhooks::sp_fork(sp_frame);
+    job_b.header().set_sp_label(sp_child);
+    let _ = crate::sanhooks::sp_enter(sp_cont);
     trace::emit(EventKind::Spawn, tid);
     let job_ref = job_b.as_job_ref();
     worker.push(job_ref);
@@ -86,10 +93,14 @@ where
             // Inline execution continues from the spawn point's pair in
             // the owner's (paused) context slot.
             let strand = profile::strand_begin(job_b.header().spawn_span());
+            // Even inline, `b` is logically the right strand of the
+            // fork — its label must differ from the continuation's.
+            let sp_prev = crate::sanhooks::sp_enter(job_b.header().sp_label());
             // SAFETY: we popped our own push of `job_b` before anyone
             // stole it, so it is unexecuted and this thread is its only
             // owner.
             rb = unsafe { job_b.run_inline() };
+            crate::sanhooks::sp_exit(sp_prev);
             child = profile::strand_end(strand);
             trace::emit(EventKind::StrandEnd, tid);
         } else {
@@ -138,6 +149,9 @@ where
     // Resume the continuation: the post-sync span is the later of the
     // continuation and the joined strand, and the merge burdens it.
     profile::sync_resume(left.0.max(child.0), left.1.max(child.1), merge_ns);
+    // The sync point: both forked labels are now serially before the
+    // bumped frame this strand continues as.
+    crate::sanhooks::sp_join(sp_frame);
     trace::emit(EventKind::SyncEnd, tid);
 
     match ra {

@@ -55,6 +55,7 @@ pub mod sync;
 mod join;
 pub(crate) mod msync;
 mod parallel_for;
+pub(crate) mod sanhooks;
 mod scope;
 pub(crate) mod sleep;
 

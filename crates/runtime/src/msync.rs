@@ -1,4 +1,4 @@
-//! Model-switchable synchronization facade.
+//! Model- and sanitizer-switchable synchronization facade.
 //!
 //! Every concurrency primitive the scheduler's hot protocols touch —
 //! atomics, fences, `Mutex`/`Condvar`, thread spawn/park/unpark — is
@@ -7,7 +7,10 @@
 //! the real primitives. With the `model` cargo feature they resolve to
 //! `cilkm_checker`'s recorded, schedule-explored versions, so the deque,
 //! latches, and the sleeper handshake can run under the model checker
-//! unchanged (see DESIGN.md §10).
+//! unchanged (see DESIGN.md §10). With the `sanitize` feature (and
+//! `model` off — model schedules must not pollute sanitizer state) they
+//! resolve to `cilkm_san`'s instrumented versions, which run the real
+//! primitives and feed the dynamic race detectors (DESIGN.md §17).
 //!
 //! Note the checker types are themselves dual-mode: a `--features
 //! model` build that is *not* inside `cilkm_checker::model(..)` behaves
@@ -16,12 +19,16 @@
 
 #[cfg(feature = "model")]
 pub(crate) use cilkm_checker::sync::atomic;
-#[cfg(not(feature = "model"))]
+#[cfg(all(not(feature = "model"), feature = "sanitize"))]
+pub(crate) use cilkm_san::sync::atomic;
+#[cfg(not(any(feature = "model", feature = "sanitize")))]
 pub(crate) use std::sync::atomic;
 
 #[cfg(feature = "model")]
 pub(crate) use cilkm_checker::sync::{Condvar, Mutex};
-#[cfg(not(feature = "model"))]
+#[cfg(all(not(feature = "model"), feature = "sanitize"))]
+pub(crate) use cilkm_san::sync::{Condvar, Mutex};
+#[cfg(not(any(feature = "model", feature = "sanitize")))]
 pub(crate) use parking_lot::{Condvar, Mutex};
 
 /// Thread spawn/park/unpark, model-switchable like the atomics above.
@@ -29,28 +36,34 @@ pub(crate) mod thread {
     #[cfg(feature = "model")]
     pub(crate) use cilkm_checker::thread::{current, park_timeout, yield_now, JoinHandle, Thread};
 
-    #[cfg(not(feature = "model"))]
+    #[cfg(all(not(feature = "model"), feature = "sanitize"))]
+    pub(crate) use cilkm_san::thread::{current, park_timeout, yield_now, JoinHandle, Thread};
+
+    #[cfg(not(any(feature = "model", feature = "sanitize")))]
     pub(crate) use std::thread::{current, park_timeout, yield_now, JoinHandle, Thread};
 
-    /// Spawns a thread with a name and stack size.
-    #[cfg(feature = "model")]
+    /// Spawns a thread with a name and stack size. Under the model (or
+    /// the sanitizer) the spawn goes through the instrumented spawn so
+    /// the new thread has a recorded identity and a fork edge.
     pub(crate) fn spawn_with<F>(name: String, stack_size: usize, f: F) -> JoinHandle<()>
     where
         F: FnOnce() + Send + 'static,
     {
-        cilkm_checker::thread::spawn_with(Some(name), Some(stack_size), f)
-    }
-
-    /// Spawns a thread with a name and stack size.
-    #[cfg(not(feature = "model"))]
-    pub(crate) fn spawn_with<F>(name: String, stack_size: usize, f: F) -> JoinHandle<()>
-    where
-        F: FnOnce() + Send + 'static,
-    {
-        std::thread::Builder::new()
-            .name(name)
-            .stack_size(stack_size)
-            .spawn(f)
-            .expect("failed to spawn worker thread")
+        #[cfg(feature = "model")]
+        {
+            cilkm_checker::thread::spawn_with(Some(name), Some(stack_size), f)
+        }
+        #[cfg(all(not(feature = "model"), feature = "sanitize"))]
+        {
+            cilkm_san::thread::spawn_with(Some(name), Some(stack_size), f)
+        }
+        #[cfg(not(any(feature = "model", feature = "sanitize")))]
+        {
+            std::thread::Builder::new()
+                .name(name)
+                .stack_size(stack_size)
+                .spawn(f)
+                .expect("failed to spawn worker thread")
+        }
     }
 }

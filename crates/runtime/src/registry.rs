@@ -789,6 +789,12 @@ impl Drop for Pool {
                 let _ = h.join();
             }
         }
+        // All workers have quiesced: flush the sanitizer report (no-op
+        // unless the `sanitize` hooks are compiled in and
+        // `CILKM_SAN_REPORT` is set). Flushed here rather than at
+        // process exit so test binaries and examples leave a report
+        // behind without any atexit machinery.
+        crate::sanhooks::flush_report();
     }
 }
 

@@ -84,10 +84,14 @@ impl<'scope> ScopeJob<'scope> {
         // Adjacent to `strand_begin`, see `StackJob::execute_foreign`.
         trace::emit(EventKind::JobBegin, job.header.task_id());
         let strand = profile::strand_begin(job.header.spawn_span());
+        // The task executes as the right strand of its spawn point's
+        // fork (sanitizer SP label; view detachment is part of it).
+        let sp_prev = crate::sanhooks::sp_enter(job.header.sp_label());
         let result = panic::catch_unwind(AssertUnwindSafe(|| func(scope)));
         // Views accumulated by this task's context, tagged for ordered
         // merging (the executing worker returns to an empty context).
         let views = crate::registry::detach_current_views();
+        crate::sanhooks::sp_exit(sp_prev);
         // The final span rides the deposit (the job frame is freed when
         // this function returns, so the header cannot carry it).
         let fin = profile::strand_end(strand);
@@ -144,6 +148,13 @@ impl<'scope> Scope<'scope> {
         });
         let tid = trace::next_task_id();
         job.header.prepare(tid, profile::spawn_point());
+        // Fork the spawner's SP label: the spawner continues as the left
+        // sibling, the task executes as the right. Cascaded spawns chain
+        // left labels, which the offset-span algebra keeps mutually
+        // parallel until the scope's closing sync.
+        let (sp_cont, sp_child) = crate::sanhooks::sp_fork(crate::sanhooks::sp_current());
+        job.header.set_sp_label(sp_child);
+        let _ = crate::sanhooks::sp_enter(sp_cont);
         trace::emit(EventKind::Spawn, tid);
         // Leak into the deque; ScopeJob::execute reconstitutes it.
         let raw = Box::into_raw(job);
@@ -167,6 +178,11 @@ where
 {
     let worker = WorkerThread::current().expect("scope() must be called on a pool worker");
     let s = Scope::new();
+
+    // The scope's SP sync frame: every spawn inside the body (or inside
+    // nested tasks on this strand) forks off the label chain rooted
+    // here, and the close below syncs them all.
+    let sp_frame = crate::sanhooks::sp_current();
 
     let result = panic::catch_unwind(AssertUnwindSafe(|| body(&s)));
 
@@ -219,6 +235,9 @@ where
         }
     }
     profile::sync_resume(span.0, span.1, merge_ns);
+    // The close is the sync point: every task label forked from this
+    // frame is now serially before the continuing strand.
+    crate::sanhooks::sp_join(sp_frame);
     trace::emit(EventKind::SyncEnd, sync_id);
 
     match result {

@@ -1,0 +1,45 @@
+//! `cilkm-san`: summarize a sanitizer report produced by an
+//! instrumented run (`CILKM_SAN_REPORT=san_report.json cargo test
+//! --features sanitize ...`).
+//!
+//! Usage: `cilkm-san [path]` (default `san_report.json`). Prints the
+//! per-detector summary and every finding; exits 1 if the report
+//! contains any finding, 2 on a missing/unparsable report — so CI can
+//! distinguish "clean run" from "no report produced".
+
+use std::process::ExitCode;
+
+use cilkm_san::report::{Detector, Report};
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "san_report.json".to_string());
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(err) => {
+            eprintln!("cilkm-san: cannot read {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match Report::from_json(&src) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("cilkm-san: cannot parse {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("sanitizer report: {path}");
+    for d in Detector::ALL {
+        println!("  {:>18}: {}", d.name(), report.count(d));
+    }
+    if report.findings.is_empty() {
+        println!("clean: no findings");
+        return ExitCode::SUCCESS;
+    }
+    println!();
+    for f in &report.findings {
+        println!("[{}] {}: {}", f.detector.name(), f.site, f.message);
+    }
+    ExitCode::FAILURE
+}

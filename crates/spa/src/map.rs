@@ -119,21 +119,28 @@ impl SpaMapRef {
         }
     }
 
-    /// Under the model checker, record a whole-map read at the map's base
-    /// address: the access contract is "one thread at a time per map", so
-    /// map granularity is exactly the invariant to check, and it keeps
-    /// the model's plain-memory bookkeeping per map instead of per field.
+    /// Under the model checker (or the dynamic sanitizer), record a
+    /// whole-map read at the map's base address: the access contract is
+    /// "one thread at a time per map", so map granularity is exactly the
+    /// invariant to check, and it keeps the checkers' plain-memory
+    /// bookkeeping per map instead of per field. The sanitizer's shadow
+    /// (not the SP-labeled reducer shadow) is the right one here: pooled
+    /// maps legitimately cross logically-parallel strands when recycled.
     #[inline]
     fn note_read(&self) {
         #[cfg(feature = "model")]
         cilkm_checker::trace::note_read(self.ptr as usize, "SpaMap");
+        #[cfg(all(not(feature = "model"), feature = "sanitize"))]
+        cilkm_san::shadow_read(self.ptr as usize, "SpaMap");
     }
 
-    /// Model-checker mirror of [`SpaMapRef::note_read`] for mutations.
+    /// Mirror of [`SpaMapRef::note_read`] for mutations.
     #[inline]
     fn note_write(&self) {
         #[cfg(feature = "model")]
         cilkm_checker::trace::note_write(self.ptr as usize, "SpaMap");
+        #[cfg(all(not(feature = "model"), feature = "sanitize"))]
+        cilkm_san::shadow_write(self.ptr as usize, "SpaMap");
     }
 
     /// Raw field accessors: every read/write goes through a fresh,
